@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast test-all bench bench-quick examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow" -q
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-all: test
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-quick:
+	REPRO_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	REPRO_QUICK=1 $(PYTHON) examples/quickstart.py
+	REPRO_QUICK=1 $(PYTHON) examples/membership_partition.py
+	REPRO_QUICK=1 $(PYTHON) examples/fme_in_action.py
+	REPRO_QUICK=1 $(PYTHON) examples/bookstore_failover.py
+	REPRO_QUICK=1 $(PYTHON) examples/auction_read_write.py
+
+clean:
+	rm -rf .pytest_cache .benchmarks results src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

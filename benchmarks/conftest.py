@@ -1,0 +1,48 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table/figure of the paper and prints the
+rows it reports.  The experiments are long (minutes, not microseconds),
+so every benchmark uses ``benchmark.pedantic`` with a single round —
+pytest-benchmark then reports the wall time of regenerating the artifact.
+
+Set ``REPRO_QUICK=1`` for shorter campaign windows (smoke mode: shapes
+are coarser but every pipeline still runs end to end).
+
+A single :class:`~repro.experiments.figures.Evaluation` cache is shared
+across the whole benchmark session so that versions quantified for one
+figure are reused by the others.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.quantify import QuantifyConfig
+from repro.experiments.figures import Evaluation
+
+_EVALUATION = None
+
+
+@pytest.fixture(scope="session")
+def evaluation() -> Evaluation:
+    global _EVALUATION
+    if _EVALUATION is None:
+        _EVALUATION = Evaluation(QuantifyConfig.from_env())
+    return _EVALUATION
+
+
+def run_figure(benchmark, fig_fn, evaluation, **kwargs):
+    """Run a figure exactly once under the benchmark timer, print it, and
+    persist it under results/."""
+    result = benchmark.pedantic(
+        lambda: fig_fn(evaluation, **kwargs) if kwargs else fig_fn(evaluation),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result)
+    from pathlib import Path
+
+    from repro.experiments.artifacts import write_figure
+
+    write_figure(result, Path(__file__).resolve().parent.parent / "results")
+    return result

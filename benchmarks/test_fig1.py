@@ -1,0 +1,27 @@
+"""Figure 1: the paper's headline — cooperation's performance/availability
+trade-off (a) and the HW/SW improvement extrapolation (b)."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments.figures import fig1a, fig1b
+
+
+def test_fig1a_indep_vs_coop(benchmark, evaluation):
+    out = run_figure(benchmark, fig1a, evaluation)
+    rows = {r["version"]: r for r in out.rows}
+    # COOP trades ~an order of magnitude of availability for ~3x throughput.
+    assert rows["COOP"]["throughput"] > 2.0 * rows["INDEP"]["throughput"]
+    assert rows["COOP"]["unavailability"] > 3.0 * rows["INDEP"]["unavailability"]
+    # The front-end + extra node keep the independent version at least as
+    # available as plain INDEP.
+    assert rows["FE-X-INDEP"]["unavailability"] <= 1.5 * rows["INDEP"]["unavailability"]
+
+
+def test_fig1b_hw_vs_sw(benchmark, evaluation):
+    out = run_figure(benchmark, fig1b, evaluation)
+    rows = {r["config"]: r["unavailability"] for r in out.rows}
+    # Hardware alone does not change the availability class...
+    assert rows["HW"] > 0.5 * rows["COOP"]
+    # ...software recovers most of it, and SW+HW beats SW alone.
+    assert rows["SW"] < rows["COOP"]
+    assert rows["SW+HW"] < rows["HW"]
+    assert rows["SW+HW"] < 0.2 * rows["COOP"]

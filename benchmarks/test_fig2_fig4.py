@@ -1,0 +1,28 @@
+"""Figure 2 (the 7-stage template) and Figure 4 (disk-fault timeline)."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments.figures import fig2, fig4
+
+
+def test_fig2_template(benchmark, evaluation):
+    out = run_figure(benchmark, fig2, evaluation)
+    stages = {r["stage"]: r for r in out.rows}
+    # A (undetected) and C (degraded until repair) must both be present
+    # for a COOP disk fault; C's duration is supplied from the 1 h MTTR.
+    assert stages["A"]["duration"] > 0
+    assert stages["C"]["duration"] > 0
+    assert stages["C"]["provenance"] == "supplied"
+    total = sum(r["duration"] for r in out.rows)
+    assert total > 3600.0  # dominated by the one-hour MTTR
+
+
+def test_fig4_disk_fault_timeline(benchmark, evaluation):
+    out = run_figure(benchmark, fig4, evaluation)
+    rates = [r["rate"] for r in out.rows]
+    peak = max(rates)
+    # The paper's shape: normal -> drop to ~0 while undetected -> partial
+    # recovery after exclusion (the cluster splinters, so it does NOT
+    # return to normal until the operator reset).
+    assert min(rates) < 0.05 * peak
+    mid = rates[len(rates) // 2]
+    assert 0.2 * peak < mid < 0.9 * peak

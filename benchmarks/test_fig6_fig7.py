@@ -1,0 +1,61 @@
+"""Figures 6 and 7: hardware-only vs the HA-technique ladder."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments.figures import fig6, fig7
+
+
+def test_fig6_additional_hardware(benchmark, evaluation):
+    out = run_figure(benchmark, fig6, evaluation)
+    rows = {r["config"]: r["unavailability"] for r in out.rows}
+    # RAID + backup switch shave only the (rare) disk/switch classes:
+    # a modest reduction, same availability class (paper: ~25%).
+    assert rows["RAID+switch"] < rows["COOP"]
+    assert rows["RAID+switch"] > 0.5 * rows["COOP"]
+    assert rows["All HW"] <= rows["FE-X"]
+
+
+def test_fig7_ha_ladder(benchmark, evaluation):
+    out = run_figure(benchmark, fig7, evaluation)
+    rows = {r["version"]: r for r in out.rows}
+    coop = rows["COOP"]["measured_unavail"]
+    # The paper's two headline reductions: MQ ~87%, FME ~94%.
+    mq_reduction = 1 - rows["MQ"]["measured_unavail"] / coop
+    fme_reduction = 1 - rows["FME"]["measured_unavail"] / coop
+    assert mq_reduction > 0.75
+    assert fme_reduction > 0.85
+    assert rows["FME"]["measured_unavail"] <= rows["MQ"]["measured_unavail"] * 1.1
+    # No single technique suffices: each partial version retains at least
+    # a few times FME's unavailability.
+    for partial in ("FE-X", "MEM", "QMON"):
+        assert rows[partial]["measured_unavail"] > 1.5 * rows["FME"]["measured_unavail"]
+    # Phase-2 predictions from COOP measurements land within ~3x of the
+    # measured implementations (the paper reports close agreement).
+    for name in ("MEM", "MQ", "FME"):
+        pred, meas = rows[name]["predicted_unavail"], rows[name]["measured_unavail"]
+        assert pred < coop
+        assert pred / meas < 5 and meas / pred < 5
+
+
+def test_fig7_per_fault_structure(benchmark, evaluation):
+    """The per-fault-class signatures Section 6.1 describes."""
+    def check():
+        mem = evaluation.va("MEM").result.by_kind()
+        qmon = evaluation.va("QMON").result.by_kind()
+        fme = evaluation.va("FME").result.by_kind()
+        coop = evaluation.va("COOP").result.by_kind()
+        return mem, qmon, fme, coop
+
+    mem, qmon, fme, coop = benchmark.pedantic(check, rounds=1, iterations=1)
+    from repro.faults.types import FaultKind as F
+
+    # Membership cannot handle SCSI errors (they stop the app, not the node).
+    assert mem[F.SCSI_TIMEOUT] > qmon[F.SCSI_TIMEOUT]
+    # Membership handles node crash/freeze well.
+    assert mem[F.NODE_CRASH] < coop[F.NODE_CRASH]
+    assert mem[F.NODE_FREEZE] < coop[F.NODE_FREEZE]
+    # Queue monitoring alone does not re-integrate frozen nodes: freeze
+    # remains expensive relative to its crash handling.
+    assert qmon[F.NODE_FREEZE] > qmon[F.NODE_CRASH]
+    # FME converts hangs into crash-restarts: hang cost collapses.
+    assert fme[F.APP_HANG] < 0.5 * qmon[F.APP_HANG]
+    assert fme[F.APP_HANG] < 0.2 * coop[F.APP_HANG]

@@ -1,0 +1,30 @@
+"""Figure 8: S-FME, C-MON and extra hardware on top of FME."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments.figures import fig8
+
+
+def test_fig8_stronger_variants(benchmark, evaluation):
+    out = run_figure(benchmark, fig8, evaluation)
+    rows = {r["config"]: r for r in out.rows}
+    # S-FME (isolated nodes taken out of rotation) does not hurt overall
+    # and sharply cuts the class it targets (isolated nodes still routed
+    # to: link faults).
+    assert rows["S-FME"]["unavailability"] <= rows["FME"]["unavailability"] * 1.2
+    assert (rows["S-FME"]["by_kind"]["link_down"]
+            <= rows["FME"]["by_kind"]["link_down"])
+    # C-MON's fast connection monitoring targets application crashes the
+    # ping-based Mon cannot see, without hurting the total.
+    assert (rows["C-MON"]["by_kind"]["app_crash"]
+            < 0.8 * rows["FME"]["by_kind"]["app_crash"])
+    assert rows["C-MON"]["unavailability"] <= rows["FME"]["unavailability"] * 1.25
+    # The backup switch removes most of the remaining switch exposure...
+    assert rows["X-SW"]["unavailability"] <= rows["C-MON"]["unavailability"]
+    # ...pushing the cooperative server into the four-nines class.
+    assert rows["X-SW"]["availability"] > 0.9995
+    # RAID on top contributes little (paper: "does not improve much").
+    # RAID on top only touches the (already small) disk class.
+    assert rows["X-SW-RAID"]["unavailability"] <= rows["X-SW"]["unavailability"]
+    non_disk = {k: u for k, u in rows["X-SW"]["by_kind"].items()
+                if k != "scsi_timeout"}
+    assert rows["X-SW-RAID"]["unavailability"] >= 0.9 * sum(non_disk.values())

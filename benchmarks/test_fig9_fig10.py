@@ -1,0 +1,38 @@
+"""Figures 9-10: availability vs cluster size (Section 6.3)."""
+
+import os
+
+from benchmarks.conftest import run_figure
+from repro.experiments.figures import fig9, fig10
+
+
+def test_fig9_fme_scaling(benchmark, evaluation):
+    # Direct 8-node measurements are the most expensive experiments in
+    # the paper; skip them in quick mode (the scaled model still runs).
+    direct = not os.environ.get("REPRO_QUICK")
+    out = run_figure(benchmark, fig9, evaluation, measure_direct=direct)
+    u = {r["config"]: r["unavailability"] for r in out.rows}
+    base = u["FME-4 (measured)"]
+    # FME's unavailability stays roughly constant with cluster size.
+    assert u["FME-8 (scaled model)"] < 3.0 * base
+    assert u["FME-16 (scaled model)"] < 4.0 * base
+    if direct:
+        # Scaled model vs the like-for-like direct measurement (memory
+        # scaled linearly, as the model's base was): the paper reports
+        # agreement within ~25%; allow a looser band for the noisier
+        # substrate.
+        ratio = u["FME-8 (scaled model)"] / max(u["FME-8 128MB (direct)"], 1e-9)
+        assert 0.2 < ratio < 5.0
+        # Constant total memory (64MB/node at 8 nodes) hurts relative to
+        # linear scaling, as in the paper's Figure 9(a); our tighter
+        # memory/working-set margin amplifies the gap.
+        assert u["FME-8 64MB (direct)"] >= 0.8 * u["FME-8 128MB (direct)"]
+
+
+def test_fig10_coop_scaling(benchmark, evaluation):
+    out = run_figure(benchmark, fig10, evaluation)
+    u = {r["config"]: r["unavailability"] for r in out.rows}
+    # COOP's unavailability grows steeply with cluster size (paper:
+    # doubles at 8 nodes and doubles again at 16).
+    assert u["COOP-8"] > 1.5 * u["COOP-4"]
+    assert u["COOP-16"] > 1.5 * u["COOP-8"]

@@ -1,0 +1,26 @@
+"""Tables 1 and 2."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments.figures import table1, table2
+
+
+def test_table1_fault_loads(benchmark, evaluation):
+    out = run_figure(benchmark, table1, evaluation)
+    rows = {r["fault"]: r for r in out.rows}
+    assert rows["node crash"]["mttf_days"] == 14.0
+    assert rows["scsi timeout"]["count"] == 8
+    assert rows["internal switch"]["mttr_minutes"] == 60.0
+    assert len(out.rows) == 8
+
+
+def test_table2_effort_vs_reduction(benchmark, evaluation):
+    out = run_figure(benchmark, table2, evaluation)
+    rows = {r["enhancement"]: r for r in out.rows}
+    full = rows["Queue Monitoring + Membership + FME"]
+    # A small amount of code buys an order-of-magnitude improvement
+    # (paper: 1638 NCSL for 94%).
+    assert full["ncsl"] < 2500
+    assert full["reduction"] > 0.85
+    # Effort and payoff both increase monotonically down the table.
+    ncsls = [r["ncsl"] for r in out.rows]
+    assert ncsls == sorted(ncsls)

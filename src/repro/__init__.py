@@ -1,0 +1,25 @@
+"""repro: reproduction of "Quantifying and Improving the Availability of
+High-Performance Cluster-Based Internet Services" (SC 2003).
+
+Public API tour:
+
+* :mod:`repro.core` — the quantification methodology (template fitting,
+  analytic model, scaling rules, end-to-end pipeline, model validation).
+* :mod:`repro.experiments` — named system versions, deployment profiles,
+  the world builder, and per-figure reproduction entry points.
+* :mod:`repro.press` — the PRESS cooperative server and INDEP baseline.
+* :mod:`repro.ha` — front-end+Mon, membership, queue monitoring, FME.
+* :mod:`repro.faults` — Table-1 fault catalog, injector, campaigns.
+* :mod:`repro.bookstore` — the 3-tier TPC-W-style service the paper also
+  applied the template to.
+* :mod:`repro.sim`, :mod:`repro.hardware`, :mod:`repro.net`,
+  :mod:`repro.workload` — the simulation substrate.
+
+Quick start::
+
+    from repro.core import quantify_version, QuantifyConfig
+    va = quantify_version("FME", QuantifyConfig())
+    print(va.availability)
+"""
+
+__version__ = "1.0.0"

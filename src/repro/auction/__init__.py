@@ -1,0 +1,26 @@
+"""A clustered 3-tier auction service (the paper's third case study).
+
+Like the bookstore, this exercises the methodology's generality — but
+with a different availability structure: the data tier is a *master
+plus read replicas*, so faults degrade reads and writes asymmetrically.
+Browsing (reads) is served by any replica; placing bids (writes) must
+reach the master.  A master crash therefore blocks writes until a
+replica wins the election while reads continue; a replica crash only
+shaves read capacity.  The harness measures read and write availability
+separately, which the 7-stage template and the analytic model handle
+per-class without modification.
+"""
+
+from repro.auction.service import (
+    AuctionConfig,
+    AuctionDataCluster,
+    AuctionWorld,
+    build_auction,
+)
+
+__all__ = [
+    "AuctionConfig",
+    "AuctionDataCluster",
+    "AuctionWorld",
+    "build_auction",
+]

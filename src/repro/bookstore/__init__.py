@@ -1,0 +1,23 @@
+"""A 3-tier on-line bookstore (TPC-W-flavoured) on the same substrate.
+
+The paper states that the 7-stage template and the quantification
+methodology were also applied to "a 3-tier on-line bookstore based on
+the TPC-W benchmark".  This package reproduces that claim: a web tier,
+an application tier and a primary/replica database tier built from the
+same hosts/disks/fault machinery as PRESS, with inter-tier queues whose
+backpressure propagates faults across tiers — so the same campaigns,
+template fitter and analytic model apply unchanged.
+"""
+
+from repro.bookstore.config import BookstoreConfig
+from repro.bookstore.tiers import TierServer, DbServer, DbCluster
+from repro.bookstore.world import BookstoreWorld, build_bookstore
+
+__all__ = [
+    "BookstoreConfig",
+    "TierServer",
+    "DbServer",
+    "DbCluster",
+    "BookstoreWorld",
+    "build_bookstore",
+]

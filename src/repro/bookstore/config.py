@@ -1,0 +1,42 @@
+"""Bookstore deployment tunables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class BookstoreConfig:
+    # -- topology ----------------------------------------------------------
+    web_nodes: int = 2
+    app_nodes: int = 2
+    db_replicas: int = 1  # replicas besides the primary
+
+    # -- per-request service times (seconds) --------------------------------
+    web_cpu: float = 3.0e-3  # parse + render
+    app_cpu: float = 6.0e-3  # business logic per interaction
+    db_cpu: float = 4.0e-3  # query execution (buffer-pool hit)
+    db_miss_ratio: float = 0.10  # queries that go to disk
+    db_disk_bytes: int = 8192  # bytes read per missing query
+
+    # -- request mix (TPC-W browsing vs ordering) -----------------------------
+    order_fraction: float = 0.2
+    browse_queries: int = 1
+    order_queries: int = 3
+
+    # -- queues & workers -----------------------------------------------------
+    queue_capacity: int = 64  # per-tier input queue
+    workers_per_node: int = 4
+    tier_timeout: float = 8.0  # a tier gives up waiting on the next one
+
+    # -- database failover ------------------------------------------------------
+    db_heartbeat: float = 2.0
+    db_loss_threshold: int = 3
+    db_promotion_time: float = 4.0  # log replay before serving
+
+    def with_(self, **changes) -> "BookstoreConfig":
+        return replace(self, **changes)
+
+    @property
+    def total_nodes(self) -> int:
+        return self.web_nodes + self.app_nodes + 1 + self.db_replicas

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``versions``
+    List the named system versions and their composition.
+``quantify VERSION [...]``
+    Run the full two-phase methodology for one or more versions.
+``inject VERSION FAULT``
+    One single-fault experiment with a throughput timeline.
+``figure NAME``
+    Regenerate one of the paper's figures/tables (fig1a..fig10, table1/2).
+``validate VERSION``
+    Empirical model validation under a random fault load.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.quantify import QuantifyConfig, quantify_version, run_single_fault
+from repro.core.report import format_bar, format_comparison, format_model_result
+from repro.experiments.configs import VERSIONS, version
+from repro.faults.types import FaultKind
+
+
+def _config(args) -> QuantifyConfig:
+    return QuantifyConfig.quick() if args.quick else QuantifyConfig.from_env()
+
+
+def cmd_versions(_args) -> int:
+    print(f"{'name':<12} composition")
+    for name, spec in VERSIONS.items():
+        parts = []
+        parts.append("cooperative" if spec.cooperative else "independent")
+        parts.append(f"{spec.server_count} nodes")
+        if spec.frontend:
+            parts.append("front-end" + ("(conn-mon)" if spec.fe_conn_monitoring else "(ping)"))
+        if spec.membership:
+            parts.append("membership")
+        if spec.queue_monitoring:
+            parts.append("queue-mon")
+        if spec.fme:
+            parts.append("FME")
+        if spec.sfme:
+            parts.append("S-FME")
+        if spec.catalog_transforms:
+            parts.append("+".join(spec.catalog_transforms))
+        print(f"{name:<12} {', '.join(parts)}")
+    return 0
+
+
+def cmd_quantify(args) -> int:
+    config = _config(args)
+    results = []
+    for name in args.versions:
+        print(f"quantifying {name}...", file=sys.stderr)
+        va = quantify_version(name, config)
+        results.append(va.result)
+        print(format_model_result(va.result))
+        print()
+    if len(results) > 1:
+        print(format_comparison(results, "comparison"))
+    return 0
+
+
+def cmd_inject(args) -> int:
+    config = _config(args)
+    kind = FaultKind(args.fault)
+    trace, world = run_single_fault(version(args.version), kind, config,
+                                    target=args.target)
+    start = max(trace.t_inject - 20.0, 0.0)
+    times, rates = trace.series.bucketize(5.0, start, trace.t_end)
+    peak = max(float(rates.max()), 1.0)
+    for t, r in zip(times, rates):
+        marks = []
+        for label, t_ev in (("INJECT", trace.t_inject), ("DETECT", trace.t_detect),
+                            ("REPAIR", trace.t_repair), ("RESET", trace.t_reset)):
+            if t_ev is not None and t <= t_ev < t + 5.0:
+                marks.append(label)
+        print(f"{t:7.0f} {r:7.1f} {format_bar(r, peak)} {' '.join(marks)}")
+    print(f"\ncooperation sets: "
+          f"{[sorted(getattr(s, 'coop', [])) for s in world.servers]}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments.figures import ALL_FIGURES, Evaluation
+
+    fig_fn = ALL_FIGURES.get(args.name)
+    if fig_fn is None:
+        print(f"unknown figure {args.name!r}; choose from {sorted(ALL_FIGURES)}",
+              file=sys.stderr)
+        return 2
+    ev = Evaluation(_config(args))
+    print(fig_fn(ev))
+    return 0
+
+
+def cmd_sensitivity(args) -> int:
+    """Which lever buys the most availability next (Section 8's question)."""
+    from repro.core.quantify import quantify_version
+    from repro.core.sensitivity import SensitivityAnalysis, format_levers
+    from repro.experiments.runner import build_world
+
+    config = _config(args)
+    va = quantify_version(args.version, config)
+    world = build_world(va.spec, config.profile, seed=config.seed)
+    analysis = SensitivityAnalysis(
+        va.templates, world.catalog, config.environment,
+        va.normal_tput, va.offered_rate, version=args.version)
+    print(f"{args.version}: availability {analysis.baseline.availability:.5f} "
+          f"({analysis.nines():.2f} nines)\n")
+    print(format_levers(analysis.ranked_levers(),
+                        analysis.baseline.unavailability))
+    if args.target:
+        steps = analysis.path_to(args.target)
+        print(f"\ngreedy path toward {args.target}:")
+        for i, step in enumerate(steps, 1):
+            print(f"  {i}. {step.description} -> {step.new_unavailability:.2e}")
+        if not steps:
+            print("  (already there, or no lever helps)")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.core.validation import validate_model
+
+    result = validate_model(args.version, horizon=args.horizon)
+    print(f"version {result.version}: predicted availability "
+          f"{result.predicted_availability:.5f}, measured "
+          f"{result.measured_availability:.5f} "
+          f"({result.faults_injected} random faults over {result.horizon:.0f}s)")
+    print(f"measured/predicted unavailability ratio: {result.ratio:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SC'03 cluster-service availability reproduction",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter experiment windows")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("versions", help="list system versions").set_defaults(fn=cmd_versions)
+
+    p = sub.add_parser("quantify", help="run the methodology for versions")
+    p.add_argument("versions", nargs="+", choices=sorted(VERSIONS))
+    p.set_defaults(fn=cmd_quantify)
+
+    p = sub.add_parser("inject", help="one single-fault experiment")
+    p.add_argument("version", choices=sorted(VERSIONS))
+    p.add_argument("fault", choices=[k.value for k in FaultKind])
+    p.add_argument("--target", default=None)
+    p.set_defaults(fn=cmd_inject)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure/table")
+    p.add_argument("name")
+    p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser("validate", help="empirical model validation")
+    p.add_argument("version", choices=sorted(VERSIONS))
+    p.add_argument("--horizon", type=float, default=7200.0)
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("sensitivity",
+                       help="rank what-if levers; optionally search a path "
+                            "to a target availability")
+    p.add_argument("version", choices=sorted(VERSIONS))
+    p.add_argument("--target", type=float, default=None,
+                   help="e.g. 0.99999 for five nines")
+    p.set_defaults(fn=cmd_sensitivity)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

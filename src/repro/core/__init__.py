@@ -1,0 +1,69 @@
+"""The paper's primary contribution: the availability quantification core.
+
+Two-phase methodology (Section 2):
+
+* **Phase 1** — :mod:`repro.core.template`: fit the measured throughput
+  timeline of a single-fault injection experiment to the 7-stage
+  piece-wise-linear template (stages A-G).
+* **Phase 2** — :mod:`repro.core.model`: combine the per-fault templates
+  with an expected fault load (MTTF/MTTR per component, Table 1) into
+  expected average throughput (AT) and availability (AA).
+
+Plus :mod:`repro.core.scaling` (Section 6.3's rules for extrapolating
+4-node measurements to larger clusters), :mod:`repro.core.quantify`
+(end-to-end pipeline: build world -> campaign -> fit -> model), and
+:mod:`repro.core.report` (tabular output).
+"""
+
+from repro.core.template import Stage, SevenStageTemplate, TemplateFitter, FitConfig
+from repro.core.model import (
+    AvailabilityModel,
+    EnvironmentParams,
+    ModelResult,
+    FaultContribution,
+)
+from repro.core.scaling import ScalingRules, scale_template
+from repro.core.quantify import (
+    quantify_version,
+    run_single_fault,
+    measure_fault_free,
+    VersionAvailability,
+    QuantifyConfig,
+)
+from repro.core.report import format_model_result, format_comparison
+from repro.core.validation import (
+    ValidationResult,
+    validate_model,
+    validation_catalog,
+)
+from repro.core.sensitivity import (
+    Improvement,
+    SensitivityAnalysis,
+    format_levers,
+)
+
+__all__ = [
+    "Stage",
+    "SevenStageTemplate",
+    "TemplateFitter",
+    "FitConfig",
+    "AvailabilityModel",
+    "EnvironmentParams",
+    "ModelResult",
+    "FaultContribution",
+    "ScalingRules",
+    "scale_template",
+    "quantify_version",
+    "run_single_fault",
+    "measure_fault_free",
+    "VersionAvailability",
+    "QuantifyConfig",
+    "format_model_result",
+    "format_comparison",
+    "ValidationResult",
+    "validate_model",
+    "validation_catalog",
+    "Improvement",
+    "SensitivityAnalysis",
+    "format_levers",
+]

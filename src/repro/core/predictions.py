@@ -1,0 +1,118 @@
+"""Analytical prediction of HA-technique impact from COOP measurements.
+
+Figure 7 of the paper pairs two bars per version: unavailability *modeled
+from the base (COOP) fault-injection measurements* and unavailability
+modeled from measurements of the fully implemented version.  Figure 1(b)
+similarly extrapolates the impact of hardware and software before any of
+it was built.
+
+This module implements the left bars: rule-based surgery on COOP's
+fitted templates describing what each technique is *designed* to do:
+
+* **front-end + extra node** — after detection, a down node's share is
+  re-routed, so post-detection stages lose their single-node deficit for
+  node-level faults Mon can see (crash, freeze);
+* **membership** — nodes unreachable or down are excluded within the
+  membership detection time and *re-integrated* on recovery: stage E-G
+  (operator reset) disappear for link/crash/freeze; blind to SCSI and
+  application hangs, whose whole-MTTR stall it cannot shorten;
+* **queue monitoring** — a stalled peer is excluded within seconds
+  (stage A shrinks to the queue-trip time) for every fault that stops a
+  peer from draining its queues, but recovered nodes are not re-admitted
+  (stages E-G remain);
+* **FME** — SCSI faults and application hangs are converted to node/app
+  crash-restarts: their templates are *replaced* by the measured crash
+  templates (with FME's detection latency for stage A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Mapping
+
+from repro.core.template import STAGE_NAMES, SevenStageTemplate, Stage
+from repro.experiments.configs import VersionSpec
+from repro.faults.types import FaultKind
+
+#: faults visible to ping-based node monitoring (Mon) and to the
+#: membership service's heartbeats
+NODE_LEVEL = (FaultKind.NODE_CRASH, FaultKind.NODE_FREEZE, FaultKind.LINK_DOWN)
+#: faults that stall a peer's queues (queue monitoring's detection surface)
+QUEUE_VISIBLE = (
+    FaultKind.NODE_CRASH,
+    FaultKind.NODE_FREEZE,
+    FaultKind.LINK_DOWN,
+    FaultKind.SCSI_TIMEOUT,
+    FaultKind.APP_CRASH,
+    FaultKind.APP_HANG,
+)
+
+QMON_TRIP_TIME = 3.0  # seconds for a send queue to hit its threshold
+MEMBERSHIP_DETECT = 16.0  # 3 lost heartbeats + a protocol round
+
+
+def _with_stage(tpl: SevenStageTemplate, name: str, **changes) -> SevenStageTemplate:
+    stages = dict(tpl.stages)
+    stages[name] = replace(stages[name], **changes)
+    return replace(tpl, stages=stages)
+
+
+def _mask_degraded_stages(tpl: SevenStageTemplate) -> SevenStageTemplate:
+    """Front-end masking: post-detection stages serve the full load."""
+    out = tpl
+    for name in ("C", "D", "E"):
+        out = _with_stage(out, name, throughput=tpl.normal_tput)
+    return out
+
+
+def predict_templates(
+    coop: Mapping[FaultKind, SevenStageTemplate],
+    spec: VersionSpec,
+) -> Dict[FaultKind, SevenStageTemplate]:
+    """Predict a version's templates from COOP's measured ones."""
+    out: Dict[FaultKind, SevenStageTemplate] = dict(coop)
+
+    if spec.queue_monitoring:
+        for kind in QUEUE_VISIBLE:
+            if kind in out:
+                tpl = out[kind]
+                # Detection now takes the queue-trip time; the cluster no
+                # longer stalls at ~0 while waiting for heartbeats.
+                out[kind] = _with_stage(tpl, "A", duration=min(
+                    QMON_TRIP_TIME, tpl.stage("A").duration))
+
+    if spec.membership:
+        for kind in NODE_LEVEL:
+            if kind in out:
+                tpl = out[kind]
+                tpl = _with_stage(tpl, "A", duration=min(
+                    MEMBERSHIP_DETECT, tpl.stage("A").duration))
+                # Re-integration on recovery: no operator reset needed.
+                out[kind] = replace(tpl, self_recovered=True)
+
+    if spec.membership and spec.queue_monitoring:
+        # Section 6.1 on MQ: "Because the system state view of each of the
+        # techniques is combined into a single view, the result is that
+        # the system can handle all errors" — no operator resets remain
+        # for queue-visible faults (only the leave/re-enter oscillation,
+        # which stays in the measured degraded levels).
+        for kind in QUEUE_VISIBLE:
+            if kind in out:
+                out[kind] = replace(out[kind], self_recovered=True)
+
+    if spec.fme:
+        # SCSI -> node-crash semantics; app hang -> app-crash-restart.
+        if FaultKind.SCSI_TIMEOUT in out and FaultKind.NODE_CRASH in out:
+            out[FaultKind.SCSI_TIMEOUT] = out[FaultKind.NODE_CRASH]
+        if FaultKind.APP_HANG in out and FaultKind.APP_CRASH in out:
+            out[FaultKind.APP_HANG] = out[FaultKind.APP_CRASH]
+
+    if spec.frontend and spec.extra_node:
+        for kind in NODE_LEVEL:
+            if kind in out:
+                out[kind] = _mask_degraded_stages(out[kind])
+        if spec.fme and FaultKind.SCSI_TIMEOUT in out:
+            out[FaultKind.SCSI_TIMEOUT] = _mask_degraded_stages(
+                out[FaultKind.SCSI_TIMEOUT])
+
+    return out

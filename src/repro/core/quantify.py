@@ -1,0 +1,160 @@
+"""End-to-end quantification pipeline: build -> inject -> fit -> model.
+
+``quantify_version`` is the whole methodology for one system version:
+for every injectable fault kind it builds a fresh deployment, runs a
+single-fault campaign (phase 1), fits the 7-stage template, and finally
+evaluates the analytic model (phase 2) against the version's fault
+catalog.  This is what the figure-reproduction entry points call.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Union
+
+from repro.core.model import AvailabilityModel, EnvironmentParams, ModelResult
+from repro.core.template import FitConfig, SevenStageTemplate, TemplateFitter
+from repro.experiments.configs import VersionSpec, version as version_by_name
+from repro.experiments.profiles import SMALL, ScaleProfile
+from repro.experiments.runner import build_world
+from repro.faults.campaign import CampaignConfig, ExperimentTrace, SingleFaultCampaign
+from repro.faults.types import FaultKind
+
+
+def _default_campaign() -> CampaignConfig:
+    # Warm-up must cover the client ramp plus cache fill; the fault stays
+    # active long enough for stage C to stabilize even with slow (25 s)
+    # heartbeat+queue detection paths.
+    return CampaignConfig(
+        warmup=90.0,
+        normal_window=20.0,
+        fault_active=90.0,
+        post_repair_observe=100.0,
+        reset_duration=10.0,
+        post_reset_observe=60.0,
+    )
+
+
+def _quick_campaign() -> CampaignConfig:
+    return CampaignConfig(
+        warmup=75.0,
+        normal_window=15.0,
+        fault_active=60.0,
+        post_repair_observe=75.0,
+        reset_duration=10.0,
+        post_reset_observe=40.0,
+    )
+
+
+@dataclass(frozen=True)
+class QuantifyConfig:
+    """Everything the pipeline needs besides the version spec."""
+
+    profile: ScaleProfile = SMALL
+    seed: int = 0
+    campaign: CampaignConfig = field(default_factory=_default_campaign)
+    environment: EnvironmentParams = field(default_factory=EnvironmentParams)
+    fit: FitConfig = field(default_factory=FitConfig)
+    kinds: Optional[tuple] = None  # default: all injectable
+
+    @classmethod
+    def quick(cls, **overrides) -> "QuantifyConfig":
+        """Shorter experiment windows (tests / smoke benches)."""
+        return cls(campaign=_quick_campaign(), **overrides)
+
+    @classmethod
+    def from_env(cls) -> "QuantifyConfig":
+        """Full-length runs unless REPRO_QUICK is set."""
+        if os.environ.get("REPRO_QUICK"):
+            return cls.quick()
+        return cls()
+
+
+@dataclass
+class VersionAvailability:
+    """Quantification output for one system version."""
+
+    spec: VersionSpec
+    result: ModelResult
+    templates: Dict[FaultKind, SevenStageTemplate]
+    traces: Dict[FaultKind, ExperimentTrace]
+    normal_tput: float
+    offered_rate: float
+
+    @property
+    def availability(self) -> float:
+        return self.result.availability
+
+    @property
+    def unavailability(self) -> float:
+        return self.result.unavailability
+
+
+def measure_fault_free(
+    spec: VersionSpec,
+    config: QuantifyConfig = QuantifyConfig(),
+) -> Dict[str, float]:
+    """Fault-free throughput/availability (Figure 1a's throughput bars)."""
+    world = build_world(spec, config.profile, seed=config.seed)
+    cfg = config.campaign
+    world.env.run(until=cfg.warmup + cfg.normal_window)
+    win = world.stats.window(cfg.warmup, cfg.warmup + cfg.normal_window)
+    return {
+        "throughput": win["success_rate"],
+        "offered": world.offered_rate,
+        "availability": win["availability"],
+    }
+
+
+def run_single_fault(
+    spec: VersionSpec,
+    kind: FaultKind,
+    config: QuantifyConfig = QuantifyConfig(),
+    target: Optional[str] = None,
+):
+    """One phase-1 experiment; returns (trace, world)."""
+    world = build_world(spec, config.profile, seed=config.seed)
+    world.reset_downtime = config.campaign.reset_duration
+    campaign = SingleFaultCampaign(world, config.campaign)
+    trace = campaign.run(kind, target or world.default_target(kind))
+    trace.version = spec.name
+    return trace, world
+
+
+def quantify_version(
+    spec: Union[str, VersionSpec],
+    config: QuantifyConfig = QuantifyConfig(),
+) -> VersionAvailability:
+    """Run the full two-phase methodology for one version."""
+    if isinstance(spec, str):
+        spec = version_by_name(spec)
+    fitter = TemplateFitter(config.fit)
+
+    # Which kinds exist in this deployment (throwaway world for the query).
+    probe_world = build_world(spec, config.profile, seed=config.seed)
+    kinds = config.kinds or probe_world.injectable_kinds()
+    catalog = probe_world.catalog
+
+    templates: Dict[FaultKind, SevenStageTemplate] = {}
+    traces: Dict[FaultKind, ExperimentTrace] = {}
+    normals: List[float] = []
+    offered = probe_world.offered_rate
+    for kind in list(kinds):
+        trace, _world = run_single_fault(spec, kind, config)
+        templates[kind] = fitter.fit(trace)
+        traces[kind] = trace
+        normals.append(trace.normal_tput)
+
+    normal = sum(normals) / len(normals) if normals else 0.0
+    model = AvailabilityModel(catalog, config.environment)
+    result = model.evaluate(templates, normal_tput=normal,
+                            offered_rate=offered, version=spec.name)
+    return VersionAvailability(
+        spec=spec,
+        result=result,
+        templates=templates,
+        traces=traces,
+        normal_tput=normal,
+        offered_rate=offered,
+    )

@@ -1,0 +1,60 @@
+"""Tabular reports for model results (what the benches print)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.model import ModelResult
+from repro.faults.types import ALL_FAULT_KINDS, FAULT_LABELS, FaultKind
+
+
+def format_model_result(result: ModelResult) -> str:
+    """One version: availability plus the per-fault-class breakdown."""
+    lines = [
+        f"version {result.version}: availability={result.availability:.5f} "
+        f"(unavailability={result.unavailability:.5f}), "
+        f"AT={result.average_throughput:.1f}/{result.offered_rate:.1f} req/s",
+        f"  {'fault class':<18} {'count':>5} {'f_i':>10} {'deg.tput':>9} {'unavail':>10}",
+    ]
+    for c in result.contributions:
+        lines.append(
+            f"  {c.label:<18} {c.count:>5} {c.fault_fraction:>10.2e} "
+            f"{c.degraded_tput:>9.1f} {c.unavailability:>10.2e}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(results: Sequence[ModelResult], title: str = "") -> str:
+    """Several versions side by side, per-fault-kind unavailability matrix.
+
+    This is the shape of the paper's stacked-bar figures (6, 7, 8) as text.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'fault class':<18}" + "".join(f"{r.version:>12}" for r in results)
+    lines.append(header)
+    kinds = [k for k in ALL_FAULT_KINDS
+             if any(r.contribution(k) is not None for r in results)]
+    for kind in kinds:
+        row = f"{FAULT_LABELS[kind]:<18}"
+        for r in results:
+            c = r.contribution(kind)
+            row += f"{c.unavailability:>12.2e}" if c else f"{'-':>12}"
+        lines.append(row)
+    lines.append(
+        f"{'TOTAL unavail':<18}"
+        + "".join(f"{r.unavailability:>12.2e}" for r in results)
+    )
+    lines.append(
+        f"{'availability':<18}"
+        + "".join(f"{r.availability:>12.5f}" for r in results)
+    )
+    return "\n".join(lines)
+
+
+def format_bar(value: float, scale: float, width: int = 50) -> str:
+    """Crude textual bar for throughput timelines."""
+    if scale <= 0:
+        return ""
+    return "#" * max(0, min(width, int(round(value / scale * width))))

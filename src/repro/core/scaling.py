@@ -1,0 +1,106 @@
+"""Section 6.3: scaling rules for extrapolating measurements to larger clusters.
+
+Assumptions (the paper's): the bottleneck resource is unchanged and
+throughput scales linearly with cluster size.  For a configuration
+scaled from N to kN nodes:
+
+* ``MTTF`` of node-bound component classes divides by k (k times more
+  components) — handled by scaling the catalog counts;
+* stage *durations* are unchanged;
+* normal throughput multiplies by k;
+* per-stage throughputs follow the fault's blast radius:
+
+  - a stage whose throughput was (close to) zero stays zero — a fault
+    that stalls the whole cooperating cluster stalls the bigger cluster
+    too ("if throughput drops to 0 in phase A for N nodes, it also drops
+    to 0 for kN nodes");
+  - a stage at a fraction 1 - m/N of normal (m nodes' worth of service
+    lost) scales to 1 - m/(kN) of the new normal — losing one node hurts
+    a bigger cluster proportionally less.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.core.template import STAGE_NAMES, SevenStageTemplate, Stage
+from repro.faults.faultload import FaultCatalog
+from repro.faults.types import FaultKind
+
+#: component classes whose population grows with the node count
+NODE_BOUND_KINDS = (
+    FaultKind.LINK_DOWN,
+    FaultKind.SCSI_TIMEOUT,
+    FaultKind.NODE_CRASH,
+    FaultKind.NODE_FREEZE,
+    FaultKind.APP_CRASH,
+    FaultKind.APP_HANG,
+)
+
+
+@dataclass(frozen=True)
+class ScalingRules:
+    """Parameters of the extrapolation.
+
+    Classification of a stage's degradation: express its deficit in
+    "nodes' worth of service lost", ``N * (1 - T_s/T)``.  A single
+    component fault that costs **more than about one node's worth** is,
+    by construction, propagating through cooperation (queue backpressure,
+    splintering) — the paper's "drops to 0 for N nodes, drops to 0 for
+    kN" rule is the extreme case — and keeps its *fraction* at scale.
+    A deficit of at most one node's worth is the component itself, and
+    costs proportionally less in a larger cluster (the paper's
+    ``(N-1)/N -> (kN-1)/kN`` rule).
+    """
+
+    base_nodes: int = 4
+    #: deficits above this many nodes' worth count as cooperation-coupled
+    coupling_nodes: float = 1.25
+
+    def scale_stage(self, stage: Stage, k: float, normal: float, new_normal: float,
+                    n_nodes: int) -> Stage:
+        if normal <= 0:
+            return stage
+        frac = stage.throughput / normal
+        lost_nodes = n_nodes * (1.0 - min(frac, 1.0))
+        if lost_nodes > self.coupling_nodes:
+            # Cooperation-coupled: the fraction of service delivered is
+            # unchanged by scale (0 stays 0).
+            new_tput = frac * new_normal
+        else:
+            new_frac = 1.0 - lost_nodes / (k * n_nodes)
+            new_tput = new_frac * new_normal
+        return replace(stage, throughput=max(new_tput, 0.0))
+
+
+def scale_template(
+    template: SevenStageTemplate,
+    k: float,
+    rules: ScalingRules = ScalingRules(),
+) -> SevenStageTemplate:
+    """Extrapolate a base-cluster template to a k-times-larger cluster."""
+    if k <= 0:
+        raise ValueError("scale factor must be positive")
+    normal = template.normal_tput
+    new_normal = k * normal
+    new_offered = k * template.offered_rate
+    stages: Dict[str, Stage] = {
+        name: rules.scale_stage(template.stages[name], k, normal, new_normal,
+                                rules.base_nodes)
+        for name in STAGE_NAMES
+    }
+    return replace(
+        template,
+        stages=stages,
+        normal_tput=new_normal,
+        offered_rate=new_offered,
+        version=f"{template.version}x{k:g}",
+    )
+
+
+def scale_catalog(catalog: FaultCatalog, k: int) -> FaultCatalog:
+    """Multiply node-bound component counts by k (switch/front-end stay)."""
+    if k < 1:
+        raise ValueError("scale factor must be >= 1")
+    return catalog.scale_counts(k, NODE_BOUND_KINDS)

@@ -1,0 +1,173 @@
+"""Sensitivity analysis: where to spend the next availability dollar.
+
+The paper closes by asking whether the evolutionary approach can push
+the cooperative server from four nines toward five. The analytic model
+makes that question computable: because expected unavailability is a sum
+of per-fault-class terms that scale as ``count / MTTF`` and linearly in
+the per-stage deficits, we can rank what-if improvements —
+
+* harden a component class (multiply its MTTF, e.g. by RAID-ing disks),
+* shrink its repair time (MTTR), or
+* shorten the operator response (better monitoring/paging),
+
+— and search for the cheapest combination reaching a target availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.model import AvailabilityModel, EnvironmentParams, ModelResult
+from repro.core.template import SevenStageTemplate
+from repro.faults.faultload import FaultCatalog
+from repro.faults.types import FAULT_LABELS, FaultKind
+
+
+@dataclass(frozen=True)
+class Improvement:
+    """One what-if lever and its payoff."""
+
+    description: str
+    kind: Optional[FaultKind]  # None for environment-level levers
+    new_unavailability: float
+    delta: float  # unavailability removed (positive = better)
+
+    @property
+    def label(self) -> str:
+        return FAULT_LABELS.get(self.kind, "environment") if self.kind else "environment"
+
+
+class SensitivityAnalysis:
+    """What-if evaluation over a fixed set of fitted templates."""
+
+    def __init__(
+        self,
+        templates: Mapping[FaultKind, SevenStageTemplate],
+        catalog: FaultCatalog,
+        environment: EnvironmentParams,
+        normal_tput: float,
+        offered_rate: float,
+        version: str = "",
+    ):
+        self.templates = dict(templates)
+        self.catalog = catalog
+        self.environment = environment
+        self.normal_tput = normal_tput
+        self.offered_rate = offered_rate
+        self.version = version
+        self.baseline = self._evaluate(catalog, environment)
+
+    # -- engine ------------------------------------------------------------
+    def _evaluate(self, catalog: FaultCatalog,
+                  environment: EnvironmentParams) -> ModelResult:
+        model = AvailabilityModel(catalog, environment)
+        return model.evaluate(self.templates, self.normal_tput,
+                              self.offered_rate, version=self.version)
+
+    # -- what-ifs -------------------------------------------------------------
+    def harden(self, kind: FaultKind, mttf_factor: float) -> Improvement:
+        """Multiply one class's MTTF (redundancy, better hardware)."""
+        rate = self.catalog.get(kind)
+        if rate is None:
+            raise KeyError(f"{kind} not in catalog")
+        catalog = self.catalog.replace_rate(kind, mttf=rate.mttf * mttf_factor)
+        result = self._evaluate(catalog, self.environment)
+        return Improvement(
+            description=f"{FAULT_LABELS[kind]}: MTTF x{mttf_factor:g}",
+            kind=kind,
+            new_unavailability=result.unavailability,
+            delta=self.baseline.unavailability - result.unavailability,
+        )
+
+    def faster_repair(self, kind: FaultKind, mttr_factor: float) -> Improvement:
+        """Shrink one class's MTTR (spares on site, automation)."""
+        rate = self.catalog.get(kind)
+        if rate is None:
+            raise KeyError(f"{kind} not in catalog")
+        catalog = self.catalog.replace_rate(kind, mttr=rate.mttr * mttr_factor)
+        result = self._evaluate(catalog, self.environment)
+        return Improvement(
+            description=f"{FAULT_LABELS[kind]}: MTTR x{mttr_factor:g}",
+            kind=kind,
+            new_unavailability=result.unavailability,
+            delta=self.baseline.unavailability - result.unavailability,
+        )
+
+    def faster_operator(self, factor: float) -> Improvement:
+        """Shrink the operator response (paging, runbooks, auto-reset)."""
+        env = replace(self.environment,
+                      operator_response=self.environment.operator_response * factor)
+        result = self._evaluate(self.catalog, env)
+        return Improvement(
+            description=f"operator response x{factor:g}",
+            kind=None,
+            new_unavailability=result.unavailability,
+            delta=self.baseline.unavailability - result.unavailability,
+        )
+
+    # -- reports -------------------------------------------------------------
+    def ranked_levers(self, mttf_factor: float = 10.0,
+                      mttr_factor: float = 0.1,
+                      operator_factor: float = 0.1) -> List[Improvement]:
+        """All single levers, best payoff first."""
+        levers: List[Improvement] = []
+        for rate in self.catalog:
+            if rate.kind in self.templates:
+                levers.append(self.harden(rate.kind, mttf_factor))
+                levers.append(self.faster_repair(rate.kind, mttr_factor))
+        levers.append(self.faster_operator(operator_factor))
+        levers.sort(key=lambda imp: imp.delta, reverse=True)
+        return levers
+
+    def nines(self) -> float:
+        import math
+
+        return -math.log10(max(self.baseline.unavailability, 1e-15))
+
+    def path_to(self, target_availability: float,
+                mttf_factor: float = 10.0,
+                max_steps: int = 10) -> List[Improvement]:
+        """Greedy search: repeatedly apply the best remaining hardening
+        lever until the target availability is reached (or levers run
+        out).  Returns the chosen sequence."""
+        if not 0.0 < target_availability < 1.0:
+            raise ValueError("target availability must be in (0, 1)")
+        chosen: List[Improvement] = []
+        analysis = self
+        for _ in range(max_steps):
+            if analysis.baseline.availability >= target_availability:
+                break
+            levers = analysis.ranked_levers(mttf_factor=mttf_factor)
+            best = levers[0]
+            if best.delta <= 0:
+                break
+            chosen.append(best)
+            # apply it and continue from the improved configuration
+            if best.kind is None:
+                env = replace(analysis.environment,
+                              operator_response=analysis.environment.operator_response * 0.1)
+                analysis = SensitivityAnalysis(
+                    analysis.templates, analysis.catalog, env,
+                    analysis.normal_tput, analysis.offered_rate, analysis.version)
+            else:
+                rate = analysis.catalog[best.kind]
+                if "MTTR" in best.description:
+                    catalog = analysis.catalog.replace_rate(
+                        best.kind, mttr=rate.mttr * 0.1)
+                else:
+                    catalog = analysis.catalog.replace_rate(
+                        best.kind, mttf=rate.mttf * mttf_factor)
+                analysis = SensitivityAnalysis(
+                    analysis.templates, catalog, analysis.environment,
+                    analysis.normal_tput, analysis.offered_rate, analysis.version)
+        return chosen
+
+
+def format_levers(levers: List[Improvement], baseline: float) -> str:
+    lines = [f"baseline unavailability: {baseline:.2e}",
+             f"{'lever':<34}{'unavail':>12}{'removed':>12}"]
+    for imp in levers:
+        lines.append(f"{imp.description:<34}{imp.new_unavailability:>12.2e}"
+                     f"{imp.delta:>12.2e}")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Experiment harness: named system versions, world builder, figures.
+
+Each figure/table of the paper's evaluation has an entry point in
+:mod:`repro.experiments.figures`; the builders in
+:mod:`repro.experiments.runner` assemble complete simulated deployments
+(cluster + workload + HA subsystems + fault injector) for the named
+versions of :mod:`repro.experiments.configs`.
+"""
+
+from repro.experiments.profiles import ScaleProfile, SMALL, TINY
+from repro.experiments.configs import VersionSpec, VERSIONS, version
+from repro.experiments.runner import World, build_world
+
+__all__ = [
+    "ScaleProfile",
+    "SMALL",
+    "TINY",
+    "VersionSpec",
+    "VERSIONS",
+    "version",
+    "World",
+    "build_world",
+]

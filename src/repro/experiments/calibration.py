@@ -1,0 +1,103 @@
+"""Calibration tooling: find a deployment's saturation point.
+
+The methodology requires loading the service at a fixed fraction of its
+saturation throughput (the paper uses 90% of the 4-node COOP
+saturation).  When a profile changes (service times, cache sizes, file
+set), the saturation moves and the operating rates in
+:mod:`repro.experiments.profiles` must be re-derived.  This module
+automates that search so downstream users adapting profiles don't have
+to eyeball it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.experiments.configs import VersionSpec, version as version_by_name
+from repro.experiments.profiles import SMALL, ScaleProfile
+from repro.experiments.runner import build_world
+
+
+@dataclass(frozen=True)
+class CalibrationConfig:
+    """Search parameters."""
+
+    warmup: float = 90.0  # must cover the client ramp + cache fill
+    window: float = 30.0  # measurement window after warmup
+    availability_floor: float = 0.98  # sustained below this = saturated
+    rel_tolerance: float = 0.05  # stop when the bracket is this tight
+    max_iterations: int = 12
+
+
+def measure_availability(
+    spec: VersionSpec,
+    profile: ScaleProfile,
+    rate: float,
+    config: CalibrationConfig = CalibrationConfig(),
+    seed: int = 0,
+) -> float:
+    """Fault-free availability at one offered rate."""
+    world = build_world(spec, profile, seed=seed, rate=rate)
+    end = config.warmup + config.window
+    world.env.run(until=end)
+    return world.stats.window(config.warmup, end)["availability"]
+
+
+def find_saturation(
+    spec: Union[str, VersionSpec],
+    profile: ScaleProfile = SMALL,
+    config: CalibrationConfig = CalibrationConfig(),
+    lo: float = 10.0,
+    hi: float = 1000.0,
+    seed: int = 0,
+) -> Tuple[float, List[Tuple[float, float]]]:
+    """Binary-search the highest rate the deployment sustains.
+
+    Returns ``(saturation_rate, probes)`` where probes is the list of
+    (rate, availability) measurements taken.  ``lo`` must be sustainable
+    and ``hi`` unsustainable; both are verified (and ``hi`` grows if it
+    turns out to be sustainable).
+    """
+    if isinstance(spec, str):
+        spec = version_by_name(spec)
+    if not lo < hi:
+        raise ValueError("need lo < hi")
+    probes: List[Tuple[float, float]] = []
+
+    def ok(rate: float) -> bool:
+        availability = measure_availability(spec, profile, rate, config, seed)
+        probes.append((rate, availability))
+        return availability >= config.availability_floor
+
+    if not ok(lo):
+        raise ValueError(f"floor rate {lo} req/s is already unsustainable")
+    grow = 0
+    while ok(hi):
+        lo = hi
+        hi *= 2.0
+        grow += 1
+        if grow > 6:
+            return lo, probes  # effectively unbounded for this search
+    for _ in range(config.max_iterations):
+        if (hi - lo) / hi <= config.rel_tolerance:
+            break
+        mid = (lo + hi) / 2.0
+        if ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo, probes
+
+
+def operating_rate(
+    spec: Union[str, VersionSpec],
+    profile: ScaleProfile = SMALL,
+    fraction: float = 0.9,
+    **kwargs,
+) -> float:
+    """The paper's operating point: ``fraction`` of saturation."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    saturation, _ = find_saturation(spec, profile, **kwargs)
+    return fraction * saturation

@@ -1,0 +1,95 @@
+"""Generic parameter-sweep harness.
+
+The ablation benchmarks and any what-if study share one shape: vary one
+or two knobs of a profile/config, rebuild the deployment, run the same
+measurement, and tabulate.  :class:`Sweep` packages that shape so a
+study is three lines::
+
+    sweep = Sweep("heartbeat", values=[2.5, 5.0, 10.0],
+                  apply=lambda p, v: replace(p, press=p.press.with_(heartbeat_interval=v)))
+    table = sweep.run(measure=my_measurement_fn)
+
+Measurements receive a ready :class:`QuantifyConfig` for the varied
+profile and return a dict of numbers; the result is a list of rows plus
+a text rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.quantify import QuantifyConfig
+from repro.experiments.profiles import SMALL, ScaleProfile
+
+#: a measurement: config -> {metric: value}
+Measurement = Callable[[QuantifyConfig], Dict[str, float]]
+#: a knob: (profile, value) -> new profile
+Apply = Callable[[ScaleProfile, Any], ScaleProfile]
+
+
+@dataclass
+class SweepResult:
+    """Rows of {knob value, metrics...} plus a rendering."""
+
+    name: str
+    rows: List[Dict[str, Any]]
+
+    def column(self, metric: str) -> List[float]:
+        return [row[metric] for row in self.rows]
+
+    def monotone(self, metric: str, increasing: bool = True) -> bool:
+        values = self.column(metric)
+        pairs = zip(values, values[1:])
+        if increasing:
+            return all(a <= b for a, b in pairs)
+        return all(a >= b for a, b in pairs)
+
+    def text(self) -> str:
+        if not self.rows:
+            return f"sweep {self.name}: no rows"
+        columns = list(self.rows[0].keys())
+        lines = ["".join(f"{c:>16}" for c in columns)]
+        for row in self.rows:
+            cells = "".join(
+                f"{row[c]:>16.4g}" if isinstance(row[c], float) else f"{row[c]!s:>16}"
+                for c in columns
+            )
+            lines.append(cells)
+        return "\n".join(lines)
+
+
+@dataclass
+class Sweep:
+    """One-dimensional sweep over a profile knob."""
+
+    name: str
+    values: Sequence[Any]
+    apply: Apply
+    base_profile: ScaleProfile = SMALL
+    quick: bool = True
+    seed: int = 0
+
+    def config_for(self, value: Any) -> QuantifyConfig:
+        profile = self.apply(self.base_profile, value)
+        make = QuantifyConfig.quick if self.quick else QuantifyConfig
+        return make(profile=profile, seed=self.seed)
+
+    def run(self, measure: Measurement) -> SweepResult:
+        rows: List[Dict[str, Any]] = []
+        for value in self.values:
+            metrics = measure(self.config_for(value))
+            rows.append({self.name: value, **metrics})
+        return SweepResult(self.name, rows)
+
+
+def grid(sweep_a: Sweep, sweep_b: Sweep, measure: Measurement) -> SweepResult:
+    """Two-dimensional sweep (cartesian product of two knobs)."""
+    rows: List[Dict[str, Any]] = []
+    for va in sweep_a.values:
+        for vb in sweep_b.values:
+            profile = sweep_b.apply(sweep_a.apply(sweep_a.base_profile, va), vb)
+            make = QuantifyConfig.quick if sweep_a.quick else QuantifyConfig
+            metrics = measure(make(profile=profile, seed=sweep_a.seed))
+            rows.append({sweep_a.name: va, sweep_b.name: vb, **metrics})
+    return SweepResult(f"{sweep_a.name}x{sweep_b.name}", rows)

@@ -1,0 +1,45 @@
+"""Fault injection: the Mendosus stand-in.
+
+Implements the eight fault types of Table 1 (link down, switch down, SCSI
+timeout, node crash, node freeze, application crash, application hang,
+front-end failure), a catalog of their MTTFs/MTTRs, an injector that
+applies/repairs them against the simulated cluster, and the single-fault
+experiment driver used by phase 1 of the quantification methodology.
+"""
+
+from repro.faults.types import FaultKind, FaultComponent, ALL_FAULT_KINDS
+from repro.faults.faultload import (
+    FaultRate,
+    FaultCatalog,
+    table1_catalog,
+    SECOND,
+    MINUTE,
+    HOUR,
+    DAY,
+    WEEK,
+    MONTH,
+    YEAR,
+)
+from repro.faults.injector import FaultInjector, ActiveFault
+from repro.faults.campaign import SingleFaultCampaign, ExperimentTrace, CampaignConfig
+
+__all__ = [
+    "FaultKind",
+    "FaultComponent",
+    "ALL_FAULT_KINDS",
+    "FaultRate",
+    "FaultCatalog",
+    "table1_catalog",
+    "FaultInjector",
+    "ActiveFault",
+    "SingleFaultCampaign",
+    "ExperimentTrace",
+    "CampaignConfig",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "MONTH",
+    "YEAR",
+]

@@ -1,0 +1,142 @@
+"""Expected fault loads: Table 1 of the paper, plus hardware variants.
+
+All times are in seconds.  ``table1_catalog`` reproduces the paper's
+catalog for an n-node cluster; the ``with_*`` transforms implement the
+hardware-redundancy what-ifs of Figures 6 and 8 by rewriting MTTFs with
+the composite-MTTF model (:mod:`repro.hardware.raid`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.faults.types import FaultKind
+from repro.hardware.raid import redundant_pair_mttf
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+MONTH = 30 * DAY
+YEAR = 365 * DAY
+
+
+@dataclass(frozen=True)
+class FaultRate:
+    """Failure behaviour of one component *class*.
+
+    ``mttf``/``mttr`` are per component; ``count`` is how many components
+    of the class exist in the configuration, so the class-level failure
+    rate is ``count / mttf``.
+    """
+
+    kind: FaultKind
+    mttf: float
+    mttr: float
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.mttf <= 0 or self.mttr <= 0:
+            raise ValueError(f"{self.kind}: MTTF/MTTR must be positive")
+        if self.count < 0:
+            raise ValueError(f"{self.kind}: count must be non-negative")
+
+    @property
+    def class_rate(self) -> float:
+        """Failures per second across all components of the class."""
+        return self.count / self.mttf
+
+
+class FaultCatalog:
+    """An immutable mapping FaultKind -> FaultRate."""
+
+    def __init__(self, rates: Iterable[FaultRate]):
+        self._rates: Dict[FaultKind, FaultRate] = {}
+        for rate in rates:
+            if rate.kind in self._rates:
+                raise ValueError(f"duplicate rate for {rate.kind}")
+            self._rates[rate.kind] = rate
+
+    def __getitem__(self, kind: FaultKind) -> FaultRate:
+        return self._rates[kind]
+
+    def __contains__(self, kind: FaultKind) -> bool:
+        return kind in self._rates
+
+    def __iter__(self) -> Iterator[FaultRate]:
+        return iter(self._rates.values())
+
+    def kinds(self) -> List[FaultKind]:
+        return list(self._rates.keys())
+
+    def get(self, kind: FaultKind) -> Optional[FaultRate]:
+        return self._rates.get(kind)
+
+    # -- transforms (return new catalogs) ----------------------------------
+    def replace_rate(self, kind: FaultKind, **changes) -> "FaultCatalog":
+        rates = [replace(r, **changes) if r.kind == kind else r for r in self]
+        return FaultCatalog(rates)
+
+    def without(self, *kinds: FaultKind) -> "FaultCatalog":
+        return FaultCatalog(r for r in self if r.kind not in kinds)
+
+    def scale_counts(self, factor: int, kinds: Optional[Iterable[FaultKind]] = None) -> "FaultCatalog":
+        """Multiply component counts (cluster scaling, Sec 6.3)."""
+        targets = set(kinds) if kinds is not None else None
+        rates = [
+            replace(r, count=r.count * factor)
+            if (targets is None or r.kind in targets)
+            else r
+            for r in self
+        ]
+        return FaultCatalog(rates)
+
+    def with_raid(self) -> "FaultCatalog":
+        """RAID-1 all disks: SCSI MTTF becomes the mirrored-pair MTTF."""
+        scsi = self[FaultKind.SCSI_TIMEOUT]
+        return self.replace_rate(
+            FaultKind.SCSI_TIMEOUT, mttf=redundant_pair_mttf(scsi.mttf, scsi.mttr)
+        )
+
+    def with_backup_switch(self) -> "FaultCatalog":
+        """Fail-over switch: switch MTTF becomes the redundant-pair MTTF."""
+        sw = self[FaultKind.SWITCH_DOWN]
+        return self.replace_rate(
+            FaultKind.SWITCH_DOWN, mttf=redundant_pair_mttf(sw.mttf, sw.mttr)
+        )
+
+    def with_redundant_frontend(self) -> "FaultCatalog":
+        """Redundant front-end pair with heartbeats + IP take-over."""
+        if FaultKind.FRONTEND_FAILURE not in self:
+            return self
+        fe = self[FaultKind.FRONTEND_FAILURE]
+        return self.replace_rate(
+            FaultKind.FRONTEND_FAILURE, mttf=redundant_pair_mttf(fe.mttf, fe.mttr)
+        )
+
+
+def table1_catalog(
+    n_nodes: int = 4,
+    disks_per_node: int = 2,
+    with_frontend: bool = False,
+) -> FaultCatalog:
+    """The paper's Table 1 for an ``n_nodes`` cluster.
+
+    The front-end row is included only for configurations that deploy one
+    (FE-X and later versions); the paper's table lists it because most of
+    the studied versions do.
+    """
+    rates = [
+        FaultRate(FaultKind.LINK_DOWN, 6 * MONTH, 3 * MINUTE, n_nodes),
+        FaultRate(FaultKind.SWITCH_DOWN, 1 * YEAR, 1 * HOUR, 1),
+        FaultRate(FaultKind.SCSI_TIMEOUT, 1 * YEAR, 1 * HOUR, n_nodes * disks_per_node),
+        FaultRate(FaultKind.NODE_CRASH, 2 * WEEK, 3 * MINUTE, n_nodes),
+        FaultRate(FaultKind.NODE_FREEZE, 2 * WEEK, 3 * MINUTE, n_nodes),
+        FaultRate(FaultKind.APP_CRASH, 2 * MONTH, 3 * MINUTE, n_nodes),
+        FaultRate(FaultKind.APP_HANG, 2 * MONTH, 3 * MINUTE, n_nodes),
+    ]
+    if with_frontend:
+        rates.append(FaultRate(FaultKind.FRONTEND_FAILURE, 6 * MONTH, 3 * MINUTE, 1))
+    return FaultCatalog(rates)

@@ -1,0 +1,63 @@
+"""Fault taxonomy (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FaultKind(str, enum.Enum):
+    """The eight injectable fault types."""
+
+    LINK_DOWN = "link_down"
+    SWITCH_DOWN = "switch_down"
+    SCSI_TIMEOUT = "scsi_timeout"
+    NODE_CRASH = "node_crash"
+    NODE_FREEZE = "node_freeze"
+    APP_CRASH = "app_crash"
+    APP_HANG = "app_hang"
+    FRONTEND_FAILURE = "frontend_failure"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Injection order used by campaigns and reports (Table 1 order).
+ALL_FAULT_KINDS = (
+    FaultKind.LINK_DOWN,
+    FaultKind.SWITCH_DOWN,
+    FaultKind.SCSI_TIMEOUT,
+    FaultKind.NODE_CRASH,
+    FaultKind.NODE_FREEZE,
+    FaultKind.APP_CRASH,
+    FaultKind.APP_HANG,
+    FaultKind.FRONTEND_FAILURE,
+)
+
+#: Human-readable labels matching the paper's figure legends.
+FAULT_LABELS = {
+    FaultKind.LINK_DOWN: "internal link",
+    FaultKind.SWITCH_DOWN: "internal switch",
+    FaultKind.SCSI_TIMEOUT: "scsi timeout",
+    FaultKind.NODE_CRASH: "node crash",
+    FaultKind.NODE_FREEZE: "node freeze",
+    FaultKind.APP_CRASH: "application crash",
+    FaultKind.APP_HANG: "application hang",
+    FaultKind.FRONTEND_FAILURE: "frontend failure",
+}
+
+
+@dataclass(frozen=True)
+class FaultComponent:
+    """A concrete faultable component instance.
+
+    ``target`` names the instance: a host name for node/app faults, a disk
+    name for SCSI faults, a host name for link faults, or a device name
+    for switch/front-end faults.
+    """
+
+    kind: FaultKind
+    target: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}@{self.target}"

@@ -1,0 +1,50 @@
+"""High-availability subsystems (Section 4 of the paper).
+
+Four COTS-style components, each deliberately *self-contained* with its
+own view of the system — the paper's point is precisely that these views
+overlap and can conflict until Fault Model Enforcement reconciles them:
+
+* :mod:`repro.ha.frontend` — LVS-like front-end request distribution with
+  Mon-style ping monitoring (and the C-MON connection-monitoring variant);
+* :mod:`repro.ha.membership` — the three-round ring membership service
+  with two-phase-commit add/remove and multicast join;
+* :mod:`repro.ha.memclient` — the shared-memory view segment and the
+  client library (NodeIn/NodeOut/NodeDown callbacks);
+* queue monitoring is a policy inside PRESS itself
+  (``PressConfig.queue_monitoring``; Section 4.3 of the paper);
+* :mod:`repro.ha.fme` — Fault Model Enforcement: a per-node daemon that
+  maps un-modeled faults (disk failure, application hang) into modeled
+  ones (node offline, application crash-restart), plus the S-FME global
+  cooperation-set monitor.
+"""
+
+from repro.ha.faultmodel import (
+    PRESS_FAULT_MODEL,
+    AbstractFault,
+    EnforcementAction,
+    FaultModel,
+    Symptoms,
+)
+from repro.ha.frontend import FrontEnd, FrontEndConfig, MonMode
+from repro.ha.membership import MembershipDaemon, MembershipConfig, MembershipNetwork
+from repro.ha.memclient import SharedView, MembershipClient
+from repro.ha.fme import FmeDaemon, FmeConfig, SfmeMonitor
+
+__all__ = [
+    "PRESS_FAULT_MODEL",
+    "AbstractFault",
+    "EnforcementAction",
+    "FaultModel",
+    "Symptoms",
+    "FrontEnd",
+    "FrontEndConfig",
+    "MonMode",
+    "MembershipDaemon",
+    "MembershipConfig",
+    "MembershipNetwork",
+    "SharedView",
+    "MembershipClient",
+    "FmeDaemon",
+    "FmeConfig",
+    "SfmeMonitor",
+]

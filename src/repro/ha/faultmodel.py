@@ -1,0 +1,122 @@
+"""The abstract fault model and its enforcement mapping (Section 4.5).
+
+FME's premise: the *designers* pick a small set of faults the system can
+correctly detect and recover from (the abstract fault model), and every
+other fault is actively *transformed* into one of them — even if that
+means failing a component that still works (shutting down a whole node
+because its disk died).
+
+This module makes the concept first-class and declarative:
+
+* :class:`AbstractFault` — the modeled fault vocabulary;
+* :class:`Symptoms` — what a per-node enforcement agent can observe
+  (disk probes, application probes);
+* :class:`FaultModel` — the designers' chosen model plus the mapping
+  from observed symptoms to an :class:`EnforcementAction`.
+
+:class:`repro.ha.fme.FmeDaemon` consults :data:`PRESS_FAULT_MODEL` to
+decide its actions, so the policy is separated from the probing
+machinery and can be re-used for other services (the bookstore's model
+would differ only in its symptom sources).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+
+class AbstractFault(str, enum.Enum):
+    """Faults the recovery machinery is designed to handle."""
+
+    NODE_CRASH = "node_crash"
+    APP_CRASH = "app_crash"
+    NODE_UNREACHABLE = "node_unreachable"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class EnforcementAction(str, enum.Enum):
+    """How an un-modeled fault is transformed into a modeled one."""
+
+    NONE = "none"  # everything looks healthy (or is already modeled)
+    RESTART_APP = "restart_app"  # => app crash-restart
+    OFFLINE_NODE = "offline_node"  # => node crash (repair + reboot later)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Symptoms:
+    """One round of observations by a per-node enforcement agent."""
+
+    disks_ok: bool
+    app_responsive: bool
+    #: number of consecutive observation rounds with these symptoms;
+    #: transient blips (a single slow probe) must not trigger enforcement
+    confirmations: int = 1
+
+    @property
+    def healthy(self) -> bool:
+        return self.disks_ok and self.app_responsive
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """The designers' abstract fault model + enforcement policy."""
+
+    name: str
+    handled: FrozenSet[AbstractFault]
+    #: observation rounds required before acting
+    min_confirmations: int = 2
+
+    def covers(self, fault: AbstractFault) -> bool:
+        return fault in self.handled
+
+    def enforce(self, symptoms: Symptoms) -> EnforcementAction:
+        """Map observed symptoms to the enforcement action.
+
+        The paper's resolution order (Section 4.5):
+
+        * disk dead *and* application stuck -> the disk failure has taken
+          the application down; take the whole node offline for repair
+          (=> node crash, which the membership/ring/Mon machinery already
+          handles, and which parks the node until the disk is replaced);
+        * application stuck but disks fine -> an application hang or
+          wedge; kill and restart it (=> app crash-restart, which
+          triggers the rejoin protocol);
+        * application responsive -> no enforcement, even if a disk looks
+          bad: a disk failure that the application has not yet noticed
+          may be repaired in place (and will be converted the moment the
+          application wedges).
+        """
+        if symptoms.healthy:
+            return EnforcementAction.NONE
+        if symptoms.confirmations < self.min_confirmations:
+            return EnforcementAction.NONE
+        if symptoms.app_responsive:
+            return EnforcementAction.NONE
+        if not symptoms.disks_ok:
+            if AbstractFault.NODE_CRASH in self.handled:
+                return EnforcementAction.OFFLINE_NODE
+            return EnforcementAction.RESTART_APP
+        if AbstractFault.APP_CRASH in self.handled:
+            return EnforcementAction.RESTART_APP
+        return EnforcementAction.NONE
+
+
+#: The model the augmented PRESS enforces: node crashes, application
+#: crashes, and unreachable nodes are handled (by Mon + membership + the
+#: rejoin protocol); everything else gets transformed.
+PRESS_FAULT_MODEL = FaultModel(
+    name="press",
+    handled=frozenset({
+        AbstractFault.NODE_CRASH,
+        AbstractFault.APP_CRASH,
+        AbstractFault.NODE_UNREACHABLE,
+    }),
+    min_confirmations=2,
+)

@@ -1,0 +1,200 @@
+"""Fault Model Enforcement (Sections 4.5, 6.2).
+
+The designers' abstract fault model covers node crashes, application
+crashes, and unreachable nodes.  Faults outside the model — disk
+failures, application hangs — make the views of the membership service
+and the queue monitor diverge (the daemon stays healthy while the app is
+stuck), producing remove/re-add oscillation.  FME *enforces* the model
+by actively converting un-modeled faults into modeled ones:
+
+* per-node daemon probes the local disks directly (SCSI Generic
+  analog) and the local application with small HTTP requests;
+* disk failed AND application unresponsive  -> take the whole node
+  offline for repair (=> node crash, which everything already handles;
+  the node reboots once the disk is fixed);
+* application unresponsive but disks fine -> kill and restart the
+  application (=> crash-restart, which triggers the rejoin protocol).
+
+:class:`SfmeMonitor` is the stronger S-FME variant of Section 6.2: a
+global watcher that compares every backend's cooperation set against the
+majority view and takes *isolated* nodes out of the front-end's rotation,
+eliminating the losses from routing full load to splintered nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ha.faultmodel import (
+    PRESS_FAULT_MODEL,
+    EnforcementAction,
+    FaultModel,
+    Symptoms,
+)
+from repro.hardware.host import Host, NodeService
+from repro.sim.conditions import AnyOf
+from repro.sim.kernel import Environment
+from repro.sim.series import MarkerLog
+
+
+@dataclass(frozen=True)
+class FmeConfig:
+    probe_interval: float = 5.0  # Section 5: FME probes every 5 s
+    probe_timeout: float = 2.0  # disk/HTTP probe response deadline
+    confirm_delay: float = 1.0  # re-probe once before acting
+    reboot_poll: float = 5.0  # how often to check a repaired disk
+    reboot_delay: float = 10.0  # node boot time after disk repair
+
+
+class FmeDaemon(NodeService):
+    """Per-node FME process (its own ProcGroup, separate from the app)."""
+
+    service_name = "fme"
+
+    def __init__(
+        self,
+        host: Host,
+        app: NodeService,
+        config: FmeConfig = FmeConfig(),
+        markers: Optional[MarkerLog] = None,
+        model: FaultModel = PRESS_FAULT_MODEL,
+    ):
+        super().__init__(host)
+        self.app = app
+        self.config = config
+        self.model = model
+        self.markers = markers if markers is not None else MarkerLog()
+        self.enforcements = 0
+
+    def start(self) -> None:
+        if not self.group.alive or not self.host.is_up:
+            return
+        self.env.process(self._probe_loop(), owner=self.group,
+                         name=f"{self.host.name}.fme")
+
+    # ------------------------------------------------------------------
+    def _probe_loop(self):
+        cfg = self.config
+        while True:
+            yield self.env.timeout(cfg.probe_interval)
+            disk_ok = yield from self._probe_disks()
+            app_ok = yield from self._probe_app()
+            if disk_ok and app_ok:
+                continue
+            # Confirm with a second observation round before acting
+            # (transient overload must not trigger enforcement).
+            yield self.env.timeout(cfg.confirm_delay)
+            disk_ok = yield from self._probe_disks()
+            app_ok = yield from self._probe_app()
+            symptoms = Symptoms(disks_ok=disk_ok, app_responsive=app_ok,
+                                confirmations=2)
+            action = self.model.enforce(symptoms)
+            if action is EnforcementAction.OFFLINE_NODE:
+                self._take_node_offline()
+                return  # the node (and this daemon) goes down
+            if action is EnforcementAction.RESTART_APP:
+                self._restart_app()
+
+    def _probe_disks(self):
+        """True iff every local disk answers a controller probe in time."""
+        cfg = self.config
+        for disk in self.host.disks:
+            done = disk.probe()
+            deadline = self.env.timeout(cfg.probe_timeout)
+            yield AnyOf(self.env, [done, deadline])
+            if not done.triggered:
+                return False
+        return True
+
+    def _probe_app(self):
+        cfg = self.config
+        ev = self.app.http_probe()
+        deadline = self.env.timeout(cfg.probe_timeout)
+        yield AnyOf(self.env, [ev, deadline])
+        return ev.triggered
+
+    # -- enforcement actions -----------------------------------------------
+    def _take_node_offline(self) -> None:
+        """Disk dead + app stuck: enforce 'node crash'.
+
+        A repair process outside the node (the operations crew) watches
+        for the disk to be replaced and then boots the node, which
+        restarts every service and rejoins the cluster.
+        """
+        now = self.env.now
+        self.enforcements += 1
+        self.markers.mark(now, "detected", ("fme_disk", self.host.name, self.host.name))
+        self.markers.mark(now, "fme_offline", self.host.name)
+        env, host, cfg = self.env, self.host, self.config
+
+        def _shutdown_and_repair():
+            # The shutdown runs outside the daemon's own process group:
+            # crashing the host from within one of its processes would
+            # kill the running generator out from under itself.
+            host.crash()
+            while any(d.faulty for d in host.disks):
+                yield env.timeout(cfg.reboot_poll)
+            yield env.timeout(cfg.reboot_delay)
+            if not host.is_up:
+                host.boot()
+
+        env.process(_shutdown_and_repair(), name=f"{host.name}.repair-crew")
+
+    def _restart_app(self) -> None:
+        """App stuck, disks fine: enforce 'application crash(-restart)'."""
+        now = self.env.now
+        self.enforcements += 1
+        self.markers.mark(now, "detected", ("fme_app", self.host.name, self.host.name))
+        self.markers.mark(now, "fme_restart", self.host.name)
+        self.app.force_restart()
+
+
+class SfmeMonitor:
+    """S-FME: global cooperation-set monitoring at the front-end.
+
+    Polls each backend's cooperation set; backends whose set disagrees
+    with the majority (splintered/isolated nodes) are forced out of the
+    front-end's table until they re-merge, so clients are never routed to
+    a node that cannot carry its share.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        frontend,
+        backends,
+        poll_interval: float = 2.0,
+        markers: Optional[MarkerLog] = None,
+    ):
+        self.env = env
+        self.frontend = frontend
+        self.backends = list(backends)
+        self.poll_interval = poll_interval
+        self.markers = markers if markers is not None else MarkerLog()
+        self.actions = 0
+        env.process(self._loop(), owner=frontend.host.os, name="sfme")
+
+    def _majority_view(self):
+        views = []
+        for b in self.backends:
+            if b.listening:
+                views.append(frozenset(b.coop_view()))
+        if not views:
+            return None
+        return max(views, key=lambda v: (len(v), -min(v)))
+
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.poll_interval)
+            majority = self._majority_view()
+            if majority is None:
+                continue
+            for b in self.backends:
+                isolated = b.listening and b.node_id not in majority
+                if isolated and self.frontend.is_routed(b):
+                    self.frontend.force_offline(b)
+                    self.actions += 1
+                    self.markers.mark(self.env.now, "sfme_offline", b.host.name)
+                elif not isolated:
+                    self.frontend.allow_online(b)

@@ -1,0 +1,29 @@
+"""Cluster hardware substrate: hosts, process groups, disks, redundancy math.
+
+This package stands in for the paper's physical testbed (4-6 x 800 MHz
+Pentium III nodes, two 10K-rpm SCSI disks each, cLAN VIA interconnect).
+Hosts expose the fault transitions of Table 1 — crash, freeze, and their
+repairs — and disks expose the SCSI-timeout fault mode.
+"""
+
+from repro.hardware.host import Host, ProcGroup, NodeService
+from repro.hardware.disk import Disk, DiskOp, DiskParams
+from repro.hardware.raid import (
+    composite_mttf,
+    redundant_pair_mttf,
+    parallel_mttf,
+    series_mttf,
+)
+
+__all__ = [
+    "Host",
+    "ProcGroup",
+    "NodeService",
+    "Disk",
+    "DiskOp",
+    "DiskParams",
+    "composite_mttf",
+    "redundant_pair_mttf",
+    "parallel_mttf",
+    "series_mttf",
+]

@@ -1,0 +1,32 @@
+"""Intra-cluster network substrate.
+
+Models the paper's testbed interconnect (per-node links into one switch)
+with Mendosus-style fault separation: link/switch faults affect only
+intra-cluster traffic, never the client-server path.
+
+Two transports are provided, matching what PRESS and the HA subsystems
+use:
+
+* **datagrams** (:meth:`ClusterNetwork.datagram`, UDP analog) — fire and
+  forget, silently dropped when the path is down; used for heartbeats and
+  the membership protocol's multicast join.
+* **connections** (:class:`Connection`, TCP analog) — windowed, blocking,
+  reliable while open; a send to an unreachable or slow peer *blocks*
+  (retrying / flow-controlled), which is the mechanism by which one
+  stalled node back-pressures the whole cooperative cluster.
+"""
+
+from repro.net.message import Message
+from repro.net.network import ClusterNetwork, Link, Switch
+from repro.net.transport import Connection, Endpoint, ConnectionClosed, CLOSED
+
+__all__ = [
+    "Message",
+    "ClusterNetwork",
+    "Link",
+    "Switch",
+    "Connection",
+    "Endpoint",
+    "ConnectionClosed",
+    "CLOSED",
+]

@@ -1,0 +1,25 @@
+"""Wire messages exchanged inside the cluster."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Message:
+    """A typed intra-cluster message.
+
+    ``kind`` is a short string tag ("hb", "req", "file", "cache_add", ...);
+    ``size`` in bytes feeds the network transfer-time model.
+    """
+
+    __slots__ = ("kind", "src", "dst", "payload", "size")
+
+    def __init__(self, kind: str, src: Any, dst: Any, payload: Any = None, size: int = 128):
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Msg {self.kind} {self.src}->{self.dst}>"

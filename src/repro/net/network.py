@@ -1,0 +1,122 @@
+"""Cluster network topology: per-host links into a single switch.
+
+Fault surface (Table 1): ``link down`` (one host's link) and ``switch
+down`` (all intra-cluster paths).  Per Mendosus's design, these faults are
+*internal*: client traffic is carried on a logically separate path and is
+never affected by them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Environment, Event
+from repro.sim.store import Store
+
+
+class Link:
+    """A host's connection into the cluster switch."""
+
+    __slots__ = ("host", "up")
+
+    def __init__(self, host):
+        self.host = host
+        self.up = True
+
+
+class Switch:
+    """The (single) intra-cluster switch."""
+
+    __slots__ = ("name", "up")
+
+    def __init__(self, name: str = "switch0"):
+        self.name = name
+        self.up = True
+
+
+class ClusterNetwork:
+    """Message fabric between cluster hosts.
+
+    Latency model: fixed per-message latency plus size/bandwidth, matching
+    a cLAN-class SAN (default 100 us + 1 Gb/s).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: float = 100e-6,
+        bandwidth: float = 125e6,
+    ):
+        self.env = env
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.switch = Switch()
+        self.links: Dict[Any, Link] = {}
+        self._multicast: Dict[str, List[Tuple[Any, Store]]] = {}
+
+    # -- topology ---------------------------------------------------------
+    def attach(self, host) -> Link:
+        if host in self.links:
+            return self.links[host]
+        link = Link(host)
+        self.links[host] = link
+        return link
+
+    def link(self, host) -> Link:
+        return self.links[host]
+
+    def transfer_time(self, size: int) -> float:
+        return self.latency + size / self.bandwidth
+
+    # -- reachability --------------------------------------------------------
+    def path_up(self, a, b) -> bool:
+        """Physical path between two attached hosts is intact."""
+        if a is b:
+            return True
+        la, lb = self.links.get(a), self.links.get(b)
+        return bool(la and lb and la.up and lb.up and self.switch.up)
+
+    def reachable(self, a, b) -> bool:
+        """``b`` can actually receive from ``a`` right now: path intact and
+        ``b``'s OS running (crashed/frozen hosts receive nothing)."""
+        return self.path_up(a, b) and b.pingable
+
+    # -- datagrams (UDP analog) --------------------------------------------------
+    def datagram(self, src, dst, msg, inbox: Store) -> None:
+        """Fire-and-forget delivery into ``inbox`` after the transfer time.
+
+        Dropped silently when the path is down or the destination's OS is
+        not running *at delivery time* — exactly UDP's contract, and the
+        property heartbeat-based failure detection relies on.
+        """
+        if not self.path_up(src, dst):
+            return
+        delivery = Event(self.env)
+
+        def _deliver(_evt: Event) -> None:
+            if self.reachable(src, dst):
+                inbox.force_put(msg)
+
+        delivery.add_callback(_deliver)
+        delivery.succeed(delay=self.transfer_time(getattr(msg, "size", 128)))
+
+    # -- multicast ---------------------------------------------------------------
+    def join_multicast(self, address: str, host, inbox: Store) -> None:
+        """Subscribe ``inbox`` on ``host`` to the given multicast address."""
+        members = self._multicast.setdefault(address, [])
+        members.append((host, inbox))
+
+    def leave_multicast(self, address: str, host, inbox: Store) -> None:
+        members = self._multicast.get(address, [])
+        self._multicast[address] = [(h, ib) for (h, ib) in members if ib is not inbox]
+
+    def multicast(self, address: str, src, msg) -> int:
+        """Datagram to every subscriber (including on ``src`` itself).
+
+        Returns the number of subscribers the message was *sent toward*
+        (delivery is still subject to per-path datagram semantics).
+        """
+        members = self._multicast.get(address, [])
+        for host, inbox in members:
+            self.datagram(src, host, msg, inbox)
+        return len(members)

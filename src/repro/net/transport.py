@@ -1,0 +1,152 @@
+"""TCP-like connections: windowed, blocking, resettable.
+
+Semantics chosen to reproduce the paper's fault propagation:
+
+* ``send`` completes only when the message lands in the peer's bounded
+  receive buffer.  While the path is down or the peer's OS is not running,
+  the send **blocks and retries** (TCP retransmission), and while the
+  peer's buffer is full it blocks on flow control.  Either way the
+  sender's upstream queues back up — the stall-propagation mechanism.
+* ``reset`` (called when a node is excluded from the cooperation set, or
+  when an application restarts) aborts all blocked sends with
+  :class:`ConnectionClosed` and delivers a :data:`CLOSED` sentinel to the
+  reader, discarding buffered data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Set
+
+from repro.sim.kernel import Environment
+from repro.sim.process import Interrupt, Process
+from repro.sim.store import Store
+from repro.net.network import ClusterNetwork
+
+
+class ConnectionClosed(Exception):
+    """A send or recv was aborted because the connection was reset."""
+
+
+class _Closed:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<CLOSED>"
+
+
+#: Sentinel delivered to a reader when its connection is reset.
+CLOSED = _Closed()
+
+#: How often a blocked sender re-probes an unreachable peer (TCP RTO analog).
+RETRY_INTERVAL = 0.2
+
+
+class Connection:
+    """A bidirectional connection between two hosts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: ClusterNetwork,
+        host_a,
+        host_b,
+        window: int = 64,
+    ):
+        self.env = env
+        self.net = net
+        self.open = True
+        self._endpoints = {
+            host_a: Endpoint(self, host_a, host_b),
+            host_b: Endpoint(self, host_b, host_a),
+        }
+        for ep in self._endpoints.values():
+            ep.buffer = Store(env, capacity=window, name=f"conn[{ep.host.name}].rx")
+
+    def endpoint(self, host) -> "Endpoint":
+        return self._endpoints[host]
+
+    def peer_of(self, host):
+        for h in self._endpoints:
+            if h is not host:
+                return h
+        raise KeyError(host)
+
+    def reset(self) -> None:
+        """Abort everything in flight; readers get CLOSED, senders get
+        ConnectionClosed.  Idempotent."""
+        if not self.open:
+            return
+        self.open = False
+        for ep in self._endpoints.values():
+            for proc in list(ep._senders):
+                proc.interrupt("connection reset")
+            ep._senders.clear()
+            ep.buffer.clear()
+            ep.buffer.force_put(CLOSED)
+
+
+class Endpoint:
+    """One side of a connection."""
+
+    def __init__(self, conn: Connection, host, peer):
+        self.conn = conn
+        self.host = host
+        self.peer = peer
+        self.buffer: Optional[Store] = None  # this side's receive buffer
+        self._senders: Set[Process] = set()
+
+    # -- sending ------------------------------------------------------------
+    def send(self, msg: Any, size: int = 128, owner=None) -> Process:
+        """Start a send; the returned process-event succeeds when the
+        message is accepted by the peer's receive buffer and *fails* with
+        :class:`ConnectionClosed` if the connection is reset first."""
+        proc = self.conn.env.process(
+            self._send_body(msg, size), owner=owner, name=f"send->{self.peer.name}"
+        )
+        self._senders.add(proc)
+
+        def _cleanup(evt) -> None:
+            self._senders.discard(proc)
+            if evt.ok is False:
+                # A send abandoned by connection teardown is expected noise;
+                # mark it handled so an already-gone waiter doesn't turn it
+                # into an unhandled simulation failure.
+                evt._defused = True
+
+        proc.add_callback(_cleanup)
+        return proc
+
+    def _send_body(self, msg: Any, size: int):
+        env = self.conn.env
+        net = self.conn.net
+        try:
+            while True:
+                if not self.conn.open:
+                    raise ConnectionClosed(f"to {self.peer.name}")
+                if net.reachable(self.host, self.peer):
+                    yield env.timeout(net.transfer_time(size))
+                    if not self.conn.open:
+                        raise ConnectionClosed(f"to {self.peer.name}")
+                    if net.reachable(self.host, self.peer):
+                        remote = self.conn.endpoint(self.peer).buffer
+                        yield remote.put(msg)  # flow control: blocks while full
+                        return
+                else:
+                    yield env.timeout(RETRY_INTERVAL)
+        except Interrupt:
+            raise ConnectionClosed(f"to {self.peer.name}") from None
+
+    # -- receiving -----------------------------------------------------------
+    def recv(self):
+        """Event yielding the next message, or :data:`CLOSED` after reset.
+
+        Single-reader: PRESS has exactly one receive thread per connection.
+        """
+        assert self.buffer is not None
+        return self.buffer.get()
+
+    @property
+    def pending(self) -> int:
+        """Messages buffered on this side, waiting to be read."""
+        assert self.buffer is not None
+        return self.buffer.level

@@ -1,0 +1,40 @@
+"""PRESS: the cooperative, locality-conscious cluster Web server.
+
+Reimplements the architecture of Section 3 of the paper:
+
+* any node can be the *initial* node for a request; based on the
+  cluster-wide cache directory and piggybacked load information it either
+  serves locally or forwards to the *service* node caching the file;
+* caching actions are broadcast to all peers; load rides on every
+  intra-cluster message;
+* one main coordinating thread per node, fed by helper threads (per-peer
+  send/receive threads over TCP, disk threads) through queues;
+* bounded per-peer send queues and a bounded disk queue — in the base
+  (COOP) version the main thread **blocks** on a full queue, which is the
+  fault-propagation mechanism the paper quantifies;
+* a directed heartbeat ring with 3-loss exclusion and a broadcast-based
+  rejoin protocol for restarted processes (base reconfiguration).
+
+The high-availability variants (membership callbacks, queue monitoring,
+FME) plug in through :class:`repro.press.config.PressConfig` flags and
+the hooks on :class:`repro.press.server.PressServer`.
+
+:class:`repro.press.indep.IndepServer` is the non-cooperative version
+(INDEP) used as the availability baseline.
+"""
+
+from repro.press.config import PressConfig
+from repro.press.cache import LruCache, CacheDirectory
+from repro.press.server import PressServer, bootstrap_cluster
+from repro.press.fabric import ClusterFabric
+from repro.press.indep import IndepServer
+
+__all__ = [
+    "PressConfig",
+    "LruCache",
+    "CacheDirectory",
+    "PressServer",
+    "bootstrap_cluster",
+    "ClusterFabric",
+    "IndepServer",
+]

@@ -1,0 +1,110 @@
+"""Per-node LRU cache and the cluster-wide cache directory.
+
+PRESS keeps exactly one cached copy of each file cluster-wide (the whole
+point of cooperative caching: the cluster's memories aggregate into one
+big cache).  Each node broadcasts "I now cache f" / "I evicted f" to all
+peers, so every node maintains an approximate directory of who caches
+what (locality information); staleness is tolerated — a forwarded request
+that misses is simply served from the service node's disk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Set
+
+
+class LruCache:
+    """Fixed-capacity LRU set of file ids."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fid: int) -> bool:
+        return fid in self._entries
+
+    def lookup(self, fid: int) -> bool:
+        """Hit test; a hit refreshes recency."""
+        if fid in self._entries:
+            self._entries.move_to_end(fid)
+            return True
+        return False
+
+    def insert(self, fid: int) -> Optional[int]:
+        """Cache ``fid``; returns the evicted file id, if any."""
+        if self.capacity == 0:
+            return None
+        if fid in self._entries:
+            self._entries.move_to_end(fid)
+            return None
+        evicted = None
+        if len(self._entries) >= self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+        self._entries[fid] = None
+        return evicted
+
+    def remove(self, fid: int) -> bool:
+        return self._entries.pop(fid, False) is None
+
+    def contents(self) -> List[int]:
+        """Cached ids, LRU -> MRU order (used for cache_sync on rejoin)."""
+        return list(self._entries.keys())
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class CacheDirectory:
+    """This node's view of which peer caches which files."""
+
+    def __init__(self) -> None:
+        self._by_node: Dict[int, Set[int]] = {}
+        self._by_file: Dict[int, Set[int]] = {}
+
+    # -- updates (driven by broadcasts and cache_sync) ------------------------
+    def add(self, node_id: int, fid: int) -> None:
+        self._by_node.setdefault(node_id, set()).add(fid)
+        self._by_file.setdefault(fid, set()).add(node_id)
+
+    def remove(self, node_id: int, fid: int) -> None:
+        self._by_node.get(node_id, set()).discard(fid)
+        holders = self._by_file.get(fid)
+        if holders is not None:
+            holders.discard(node_id)
+            if not holders:
+                del self._by_file[fid]
+
+    def replace_node(self, node_id: int, fids: Iterable[int]) -> None:
+        """Install a full snapshot for a (re)joined peer."""
+        self.drop_node(node_id)
+        for fid in fids:
+            self.add(node_id, fid)
+
+    def drop_node(self, node_id: int) -> None:
+        """Forget everything about an excluded peer."""
+        for fid in self._by_node.pop(node_id, set()):
+            holders = self._by_file.get(fid)
+            if holders is not None:
+                holders.discard(node_id)
+                if not holders:
+                    del self._by_file[fid]
+
+    def clear(self) -> None:
+        self._by_node.clear()
+        self._by_file.clear()
+
+    # -- queries ------------------------------------------------------------
+    def holders(self, fid: int) -> Set[int]:
+        return self._by_file.get(fid, set())
+
+    def files_of(self, node_id: int) -> Set[int]:
+        return set(self._by_node.get(node_id, set()))
+
+    def known_nodes(self) -> Set[int]:
+        return set(self._by_node.keys())

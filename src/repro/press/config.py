@@ -1,0 +1,74 @@
+"""PRESS tunables.
+
+Defaults reflect Section 5 of the paper where the paper gives numbers
+(heartbeats every 5 s with 3-loss detection; queue-monitoring thresholds
+512 total / 256 request-fail / 128 reroute) and a scaled-down service-time
+profile otherwise (see :mod:`repro.experiments.profiles` for calibrated
+profiles; absolute service times only set the simulation's request-rate
+scale, not the availability shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class PressConfig:
+    # -- caching -----------------------------------------------------------
+    cache_files: int = 100  # per-node cache capacity, in (equal-size) files
+
+    # -- main-thread CPU costs (seconds per operation) -----------------------
+    cpu_parse: float = 2.0e-3  # accept + parse + route a client request
+    cpu_serve: float = 1.5e-3  # serve a cache hit / assemble a reply
+    cpu_forward: float = 1.0e-3  # enqueue a request to a service node
+    cpu_remote_serve: float = 1.0e-3  # handle a forwarded request
+    cpu_response: float = 1.0e-3  # handle a forwarded response + reply
+    cpu_disk_done: float = 1.0e-3  # handle a disk completion
+    cpu_control: float = 0.2e-3  # cache broadcast / heartbeat / misc
+
+    # -- queues (Section 5) ---------------------------------------------------
+    send_queue_capacity: int = 512  # messages per peer send queue
+    disk_queue_capacity: int = 64  # pending disk fetches (PRESS-level)
+    accept_backlog: int = 256  # pending client requests
+    main_queue_capacity: int = 512  # main event queue (recv threads block on it)
+    disk_threads: int = 2  # helper threads doing blocking disk I/O
+    rejoin_retry: float = 10.0  # re-broadcast rejoin until a config arrives
+
+    # -- heartbeat ring (base reconfiguration; Section 5) -----------------------
+    heartbeat_interval: float = 5.0
+    heartbeat_loss_threshold: int = 3
+    #: how long the main thread will stay blocked on one full send queue
+    #: before giving up on that message (OS send timeout).  Must exceed
+    #: the heartbeat detection time so that single-fault stalls are still
+    #: resolved by exclusion (the paper's dynamics); it exists to break
+    #: the mutual all-queues-full wedge a cold cluster-wide restart can
+    #: produce, which no exclusion would resolve.
+    send_block_timeout: float = 25.0
+    #: suppress heartbeat-loss exclusions for this long after a process
+    #: (re)start: during a cold-cache warm-up burst every main thread is
+    #: periodically wedged on its disk queue, and without a grace window a
+    #: cluster-wide restart would splinter itself before caches fill
+    startup_grace: float = 45.0
+
+    # -- queue monitoring (Section 4.3; enabled per version) ----------------------
+    queue_monitoring: bool = False
+    qmon_reroute_threshold: int = 128  # request msgs: start rerouting away
+    qmon_fail_requests: int = 256  # request msgs: declare peer failed
+    qmon_fail_total: int = 512  # all msgs: declare peer failed
+    qmon_probe_interval: int = 16  # while rerouting, every Nth request probes
+
+    # -- membership integration (Section 4.2; enabled per version) -----------------
+    use_membership: bool = False  # coop set driven by membership callbacks
+    ring_detection: bool = True  # PRESS's own heartbeat-ring exclusion
+
+    # -- forwarding policy ------------------------------------------------------
+    load_slack: int = 16  # serve locally from disk if the best
+    # remote holder is this many requests more loaded than we are
+
+    # -- transport ---------------------------------------------------------------
+    conn_window: int = 64  # TCP receive window (messages)
+
+    def with_(self, **changes) -> "PressConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **changes)

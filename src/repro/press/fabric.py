@@ -1,0 +1,72 @@
+"""Connection establishment and the cluster control channel.
+
+The fabric plays the role of the OS socket layer plus the well-known
+UDP/multicast addresses PRESS uses: servers register themselves under
+their node id, open TCP connections to peers through it, and broadcast
+control datagrams (rejoin announcements, node-dead notices) to every
+registered server's control inbox.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.message import Message
+from repro.net.network import ClusterNetwork
+from repro.net.transport import Connection
+from repro.sim.kernel import Environment
+
+#: multicast address for PRESS control broadcasts (rejoin, node_dead)
+PRESS_CONTROL = "press.control"
+
+
+class ClusterFabric:
+    """Socket layer + well-known addresses for one PRESS cluster."""
+
+    def __init__(self, env: Environment, net: ClusterNetwork):
+        self.env = env
+        self.net = net
+        self._servers: Dict[int, object] = {}  # node_id -> PressServer
+
+    # -- registry ------------------------------------------------------------
+    def register(self, server) -> None:
+        self._servers[server.node_id] = server
+
+    def server(self, node_id: int) -> Optional[object]:
+        return self._servers.get(node_id)
+
+    def node_ids(self):
+        return list(self._servers.keys())
+
+    # -- TCP ------------------------------------------------------------------
+    def open_connection(self, requester, peer_id: int, window: int = 64) -> Optional[Connection]:
+        """Connect ``requester`` to peer ``peer_id``.
+
+        Returns None when the connect would fail: peer unknown, peer app
+        not listening, or no intra-cluster path.  (A hung peer app still
+        accepts — the OS completes the handshake from the listen backlog.)
+        """
+        peer = self._servers.get(peer_id)
+        if peer is None or not peer.alive:
+            return None
+        if not self.net.reachable(requester.host, peer.host):
+            return None
+        conn = Connection(self.env, self.net, requester.host, peer.host, window=window)
+        peer.accept_connection(conn, requester.node_id)
+        return conn
+
+    # -- UDP control plane ----------------------------------------------------------
+    def control_broadcast(self, src_server, kind: str, payload=None, size: int = 128) -> None:
+        """Datagram to every registered server's control inbox (incl. self)."""
+        for server in self._servers.values():
+            if not server.alive:
+                continue
+            msg = Message(kind, src_server.node_id, server.node_id, payload, size)
+            self.net.datagram(src_server.host, server.host, msg, server.ctl_q)
+
+    def control_send(self, src_server, dst_id: int, kind: str, payload=None, size: int = 128) -> None:
+        dst = self._servers.get(dst_id)
+        if dst is None or not dst.alive:
+            return
+        msg = Message(kind, src_server.node_id, dst_id, payload, size)
+        self.net.datagram(src_server.host, dst.host, msg, dst.ctl_q)

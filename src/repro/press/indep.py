@@ -1,0 +1,145 @@
+"""INDEP: the non-cooperative baseline version of PRESS.
+
+Server processes run completely independently (paper Figure 1a): each
+node serves every request it receives from its own cache or its own
+disks.  The full document set is replicated at each node, so any node can
+serve any file.  There is no intra-cluster communication at all — which
+is exactly why faults do not propagate and availability stays high, at a
+large cost in throughput (each node's small cache must absorb the whole
+working set).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.host import Host, NodeService
+from repro.press.cache import LruCache
+from repro.press.config import PressConfig
+from repro.sim.kernel import Event
+from repro.sim.series import MarkerLog
+from repro.sim.store import Store
+from repro.workload.client import Request
+
+
+class IndepServer(NodeService):
+    """One independent server process."""
+
+    service_name = "press"  # same application slot as the cooperative server
+
+    def __init__(
+        self,
+        host: Host,
+        node_id: int,
+        config: PressConfig,
+        trace,
+        markers: Optional[MarkerLog] = None,
+    ):
+        super().__init__(host)
+        self.node_id = node_id
+        self.config = config
+        self.trace = trace
+        self.markers = markers if markers is not None else MarkerLog()
+        self.main_q = self.group.own_store(
+            Store(self.env, capacity=config.main_queue_capacity, name=f"{host.name}.mainq")
+        )
+        self.disk_q = self.group.own_store(
+            Store(self.env, capacity=config.disk_queue_capacity, name=f"{host.name}.diskq")
+        )
+        self._running = False
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        self.cache = LruCache(self.config.cache_files)
+        self.client_pending = 0
+        self.requests_served = 0
+        # In-flight miss coalescing: fid -> [waiting requests].
+        self.pending_fetch = {}
+
+    def start(self) -> None:
+        if self._running or self.fault_latched or not self.host.is_up:
+            return
+        if not self.group.alive:
+            return
+        self._reset_state()
+        self._running = True
+        self.env.process(self._main_loop(), owner=self.group, name=f"{self.host.name}.main")
+        for i in range(self.config.disk_threads):
+            self.env.process(self._disk_loop(), owner=self.group, name=f"{self.host.name}.disk{i}")
+
+    def on_crash(self) -> None:
+        self._running = False
+        self.client_pending = 0
+
+    # -- client interface ---------------------------------------------------
+    @property
+    def listening(self) -> bool:
+        return self._running and self.group.alive and self.host.is_up
+
+    @property
+    def load(self) -> int:
+        return self.client_pending
+
+    def try_accept(self, req: Request) -> bool:
+        if not self.listening:
+            return False
+        if self.client_pending >= self.config.accept_backlog:
+            return False
+        self.client_pending += 1
+        self.main_q.force_put(("client", req))
+        return True
+
+    def http_probe(self) -> Event:
+        ev = Event(self.env)
+        if self.listening:
+            self.main_q.force_put(("probe", ev))
+        return ev
+
+    # -- threads -------------------------------------------------------------
+    def _main_loop(self):
+        cfg = self.config
+        while True:
+            kind, item = yield self.main_q.get()
+            if kind == "client":
+                yield self.env.timeout(cfg.cpu_parse)
+                if item.expired:
+                    self.client_pending -= 1
+                    continue
+                if self.cache.lookup(item.fid):
+                    yield self.env.timeout(cfg.cpu_serve)
+                    self._respond(item)
+                else:
+                    waiters = self.pending_fetch.get(item.fid)
+                    if waiters is not None:
+                        waiters.append(item)
+                    else:
+                        self.pending_fetch[item.fid] = [item]
+                        yield self.disk_q.put(item.fid)  # blocks when disks stall
+            elif kind == "disk":
+                yield self.env.timeout(cfg.cpu_disk_done)
+                self.cache.insert(item)
+                for req in self.pending_fetch.pop(item, []):
+                    if req.expired:
+                        self.client_pending -= 1
+                        continue
+                    yield self.env.timeout(cfg.cpu_serve)
+                    self._respond(req)
+            elif kind == "probe":
+                yield self.env.timeout(cfg.cpu_control)
+                if not item.triggered:
+                    item.succeed()
+
+    def _disk_loop(self):
+        disks = self.host.disks
+        while True:
+            fid = yield self.disk_q.get()
+            disk = disks[fid % len(disks)]
+            sub = disk.submit(self.trace.file_size(fid))
+            yield sub.enqueued
+            yield sub.done
+            self.main_q.force_put(("disk", fid))
+
+    def _respond(self, req: Request) -> None:
+        self.client_pending -= 1
+        self.requests_served += 1
+        req.respond()

@@ -1,0 +1,105 @@
+"""Instrumentation probes: sampled time series of simulation state.
+
+Availability debugging lives and dies by seeing *where* work piles up.
+These probes sample queue depths, disk utilization, or any custom gauge
+on a fixed period and expose the result as numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.kernel import Environment
+from repro.sim.store import Store
+
+
+class GaugeProbe:
+    """Samples ``gauge()`` every ``period`` seconds."""
+
+    def __init__(self, env: Environment, gauge: Callable[[], float],
+                 period: float = 1.0, name: str = ""):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.env = env
+        self.gauge = gauge
+        self.period = period
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+        self._proc = env.process(self._run(), name=f"probe:{name or 'gauge'}")
+
+    def _run(self):
+        while True:
+            self._times.append(self.env.now)
+            self._values.append(float(self.gauge()))
+            yield self.env.timeout(self.period)
+
+    # -- access -----------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+    def stop(self) -> None:
+        self._proc.kill()
+
+    def max(self) -> float:
+        return float(self.values.max()) if self._values else 0.0
+
+    def mean(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
+        if not self._values:
+            return 0.0
+        times, values = self.times, self.values
+        mask = np.ones(len(times), dtype=bool)
+        if t0 is not None:
+            mask &= times >= t0
+        if t1 is not None:
+            mask &= times < t1
+        selected = values[mask]
+        return float(selected.mean()) if selected.size else 0.0
+
+    def time_above(self, threshold: float) -> float:
+        """Approximate seconds the gauge spent above ``threshold``."""
+        if not self._values:
+            return 0.0
+        return float((self.values > threshold).sum()) * self.period
+
+
+class QueueDepthProbe(GaugeProbe):
+    """Samples a store's backlog (items + blocked putters)."""
+
+    def __init__(self, env: Environment, store: Store, period: float = 1.0):
+        super().__init__(env, lambda: store.backlog, period,
+                         name=f"depth:{store.name}")
+
+
+class DiskUtilizationProbe(GaugeProbe):
+    """Samples served-op deltas as a utilization proxy (ops/s x service)."""
+
+    def __init__(self, env: Environment, disk, period: float = 1.0):
+        self._disk = disk
+        self._last_ops = disk.ops_served
+        super().__init__(env, self._delta, period, name=f"util:{disk.name}")
+
+    def _delta(self) -> float:
+        ops = self._disk.ops_served
+        delta = ops - self._last_ops
+        self._last_ops = ops
+        busy = delta * self._disk.params.service_time(27_000)
+        return min(busy / self.period, 1.0)
+
+
+def probe_world_queues(world, period: float = 1.0) -> List[QueueDepthProbe]:
+    """Attach depth probes to every PRESS server's main/disk queues."""
+    probes: List[QueueDepthProbe] = []
+    for server in world.servers:
+        for attr in ("main_q", "disk_q", "queue"):
+            store = getattr(server, attr, None)
+            if store is not None:
+                probes.append(QueueDepthProbe(world.env, store, period))
+    return probes

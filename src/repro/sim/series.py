@@ -1,0 +1,99 @@
+"""Time-series recording for throughput timelines and event markers.
+
+Phase 1 of the paper's methodology measures "the system's behavior during
+the fault" as a throughput-vs-time curve annotated with fault lifecycle
+events (injected, detected, repaired, reset).  :class:`ThroughputSeries`
+collects completion timestamps; :class:`MarkerLog` collects the annotations
+that the 7-stage template fitter (:mod:`repro.core.template`) keys on.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class ThroughputSeries:
+    """Append-only log of event timestamps (e.g. successful responses)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: List[float] = []
+
+    def record(self, time: float) -> None:
+        if self._times and time < self._times[-1]:
+            # Out-of-order recording would corrupt the bisect-based queries.
+            raise ValueError(f"non-monotonic record: {time} after {self._times[-1]}")
+        self._times.append(time)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    def count(self, t0: float, t1: float) -> int:
+        """Number of events with t0 <= t < t1."""
+        if t1 < t0:
+            raise ValueError("t1 < t0")
+        lo = bisect.bisect_left(self._times, t0)
+        hi = bisect.bisect_left(self._times, t1)
+        return hi - lo
+
+    def mean_rate(self, t0: float, t1: float) -> float:
+        """Average events/second over [t0, t1); 0 for an empty window."""
+        if t1 <= t0:
+            return 0.0
+        return self.count(t0, t1) / (t1 - t0)
+
+    def bucketize(
+        self, bin_width: float, start: Optional[float] = None, end: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (bin_left_edges, rates) over [start, end) with fixed bins."""
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        if start is None:
+            start = self._times[0] if self._times else 0.0
+        if end is None:
+            end = self._times[-1] + bin_width if self._times else start + bin_width
+        if end <= start:
+            raise ValueError("empty bucketize window")
+        nbins = int(np.ceil((end - start) / bin_width))
+        edges = start + bin_width * np.arange(nbins + 1)
+        counts, _ = np.histogram(self.times, bins=edges)
+        return edges[:-1], counts / bin_width
+
+
+class MarkerLog:
+    """Timestamped labels annotating an experiment timeline."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[float, str, Any]] = []
+
+    def mark(self, time: float, label: str, data: Any = None) -> None:
+        self._entries.append((float(time), label, data))
+
+    @property
+    def entries(self) -> List[Tuple[float, str, Any]]:
+        return list(self._entries)
+
+    def all(self, label: str) -> List[Tuple[float, Any]]:
+        return [(t, d) for (t, lbl, d) in self._entries if lbl == label]
+
+    def first(self, label: str) -> Optional[float]:
+        """Earliest time of ``label``, or None if never marked."""
+        hits = self.all(label)
+        return min(t for t, _ in hits) if hits else None
+
+    def last(self, label: str) -> Optional[float]:
+        hits = self.all(label)
+        return max(t for t, _ in hits) if hits else None
+
+    def labels(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for _, lbl, _ in self._entries:
+            out[lbl] = out.get(lbl, 0) + 1
+        return out

@@ -1,0 +1,31 @@
+"""Workload generation and request accounting.
+
+Stands in for the paper's four client machines replaying the Rutgers
+trace: an open-loop Poisson arrival process over a Zipf-popularity file
+set with every file the same size (the paper normalized sizes to 27 KB to
+keep fault-free throughput stable, a precondition of the methodology).
+Requests time out after 2 s if a connection cannot be established and 6 s
+if an established request is not answered — both from Section 5.
+"""
+
+from repro.workload.trace import TraceConfig, SyntheticTrace
+from repro.workload.stats import RequestStats, Outcome
+from repro.workload.client import (
+    Request,
+    ClientPool,
+    ClientConfig,
+    DnsRouter,
+    Router,
+)
+
+__all__ = [
+    "TraceConfig",
+    "SyntheticTrace",
+    "RequestStats",
+    "Outcome",
+    "Request",
+    "ClientPool",
+    "ClientConfig",
+    "DnsRouter",
+    "Router",
+]

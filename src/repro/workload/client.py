@@ -1,0 +1,169 @@
+"""Open-loop Poisson clients with the paper's timeout discipline.
+
+Clients generate an aggregate Poisson request stream at a configured
+rate, route each request (round-robin DNS or through a front-end), and
+enforce Section 5's timeouts: 2 s to establish a connection, 6 s for an
+established request to complete.
+
+A *backend* is anything exposing::
+
+    backend.host        -- the Host it runs on (pingable check = SYN-ACK)
+    backend.listening   -- bool: the process has a listen socket (RST if not)
+    backend.try_accept(request) -> bool   -- enqueue; False = backlog full
+
+Both PRESS server variants and the test doubles in the suite satisfy it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.conditions import AnyOf
+from repro.sim.kernel import Environment, Event
+from repro.workload.stats import Outcome, RequestStats
+from repro.workload.trace import SyntheticTrace
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Aggregate client behaviour (the paper's 4 client machines)."""
+
+    request_rate: float = 200.0  # aggregate requests/second (Poisson)
+    connect_timeout: float = 2.0  # Section 5
+    request_timeout: float = 6.0  # Section 5
+    network_rtt: float = 0.5e-3  # client <-> server round trip
+    #: warm-up ramp: load grows linearly from ramp_start*rate to rate over
+    #: this many seconds (the paper warms PRESS to peak over 5 minutes)
+    ramp_time: float = 0.0
+    ramp_start: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.request_rate <= 0:
+            raise ValueError("request_rate must be positive")
+        if self.ramp_time < 0 or not 0.0 < self.ramp_start <= 1.0:
+            raise ValueError("invalid ramp parameters")
+
+    def rate_at(self, t: float) -> float:
+        """Offered rate at time ``t`` given the warm-up ramp."""
+        if self.ramp_time <= 0 or t >= self.ramp_time:
+            return self.request_rate
+        frac = self.ramp_start + (1.0 - self.ramp_start) * (t / self.ramp_time)
+        return self.request_rate * frac
+
+
+class Request:
+    """One HTTP request for one file."""
+
+    __slots__ = ("fid", "created", "response", "expired", "size")
+
+    def __init__(self, env: Environment, fid: int, size: int):
+        self.fid = fid
+        self.size = size
+        self.created = env.now
+        self.response = Event(env)
+        self.expired = False  # set when the client gave up
+
+    def respond(self) -> None:
+        """Server-side completion; harmless after client timeout."""
+        if not self.response.triggered:
+            self.response.succeed()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Request fid={self.fid} t={self.created:.3f}>"
+
+
+class Router:
+    """Chooses a backend for each request; None = connection impossible."""
+
+    def pick(self, request: Request):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class DnsRouter(Router):
+    """Round-robin DNS: rotates over the configured node list, oblivious
+    to failures — exactly why the INDEP and COOP versions lose the
+    requests routed to a dead node."""
+
+    def __init__(self, backends: Sequence):
+        if not backends:
+            raise ValueError("DnsRouter needs at least one backend")
+        self.backends = list(backends)
+        self._next = 0
+
+    def pick(self, request: Request):
+        backend = self.backends[self._next % len(self.backends)]
+        self._next += 1
+        return backend
+
+
+class ClientPool:
+    """The aggregate open-loop client population."""
+
+    def __init__(
+        self,
+        env: Environment,
+        trace: SyntheticTrace,
+        router: Router,
+        stats: RequestStats,
+        config: ClientConfig,
+        rng: np.random.Generator,
+    ):
+        self.env = env
+        self.trace = trace
+        self.router = router
+        self.stats = stats
+        self.config = config
+        self.rng = rng
+        self._started = False
+
+    def start(self) -> None:
+        """Begin generating requests (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._arrivals(), name="client-arrivals")
+
+    # -- generation ------------------------------------------------------------
+    def _arrivals(self):
+        while True:
+            mean_gap = 1.0 / self.config.rate_at(self.env.now)
+            yield self.env.timeout(float(self.rng.exponential(mean_gap)))
+            fid = self.trace.sample_file()
+            req = Request(self.env, fid, self.trace.file_size(fid))
+            self.stats.record_issue(self.env.now)
+            self.env.process(self._issue(req), name="client-req")
+
+    # -- per-request lifecycle ----------------------------------------------------
+    def _issue(self, req: Request):
+        cfg = self.config
+        backend = self.router.pick(req)
+        if backend is None:
+            # No route (front-end dead): SYNs vanish, client gives up at 2 s.
+            yield self.env.timeout(cfg.connect_timeout)
+            self._fail(req, Outcome.CONNECT_TIMEOUT)
+            return
+        yield self.env.timeout(cfg.network_rtt)  # SYN -> SYN-ACK attempt
+        if not backend.host.pingable:
+            yield self.env.timeout(cfg.connect_timeout)
+            self._fail(req, Outcome.CONNECT_TIMEOUT)
+            return
+        if not backend.listening:
+            self._fail(req, Outcome.REFUSED)  # RST comes back immediately
+            return
+        if not backend.try_accept(req):
+            self._fail(req, Outcome.REFUSED)  # listen backlog overflow
+            return
+        deadline = self.env.timeout(cfg.request_timeout)
+        yield AnyOf(self.env, [req.response, deadline])
+        if req.response.triggered:
+            self.stats.record_success(self.env.now, self.env.now - req.created)
+        else:
+            req.expired = True
+            self._fail(req, Outcome.REQUEST_TIMEOUT)
+
+    def _fail(self, req: Request, outcome: Outcome) -> None:
+        req.expired = True
+        self.stats.record_failure(self.env.now, outcome)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+from repro.sim.series import MarkerLog
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(12345)
+
+
+@pytest.fixture
+def markers() -> MarkerLog:
+    return MarkerLog()

@@ -1,0 +1,91 @@
+"""Report formatting and the COOP-based prediction rules."""
+
+import pytest
+
+from repro.core.model import AvailabilityModel, EnvironmentParams
+from repro.core.predictions import predict_templates
+from repro.core.report import format_bar, format_comparison, format_model_result
+from repro.core.template import STAGE_NAMES, SevenStageTemplate, Stage
+from repro.experiments.configs import version
+from repro.faults.faultload import FaultCatalog, FaultRate, table1_catalog
+from repro.faults.types import FaultKind
+
+
+def coop_like_templates():
+    """Synthetic COOP templates: stall in A, degraded C, operator path."""
+    out = {}
+    for kind in (FaultKind.NODE_CRASH, FaultKind.NODE_FREEZE, FaultKind.LINK_DOWN,
+                 FaultKind.SCSI_TIMEOUT, FaultKind.APP_CRASH, FaultKind.APP_HANG,
+                 FaultKind.SWITCH_DOWN):
+        stages = {n: Stage(n, 0.0, 100.0) for n in STAGE_NAMES}
+        stages["A"] = Stage("A", 20.0, 0.0)
+        stages["C"] = Stage("C", 0.0, 70.0, provenance="supplied")
+        stages["E"] = Stage("E", 0.0, 60.0, provenance="supplied")
+        stages["F"] = Stage("F", 10.0, 0.0)
+        out[kind] = SevenStageTemplate(stages, 100.0, 100.0,
+                                       self_recovered=(kind is FaultKind.APP_CRASH))
+    return out
+
+
+def evaluate(templates, catalog=None):
+    catalog = catalog or table1_catalog(4)
+    return AvailabilityModel(catalog, EnvironmentParams()).evaluate(
+        templates, 100.0, 100.0)
+
+
+class TestPredictions:
+    def test_membership_restores_self_recovery_for_node_faults(self):
+        predicted = predict_templates(coop_like_templates(), version("MEM"))
+        assert predicted[FaultKind.NODE_FREEZE].self_recovered
+        assert predicted[FaultKind.LINK_DOWN].self_recovered
+        # ...but stays blind to SCSI and hangs.
+        assert not predicted[FaultKind.SCSI_TIMEOUT].self_recovered
+        assert not predicted[FaultKind.APP_HANG].self_recovered
+
+    def test_qmon_shrinks_detection(self):
+        predicted = predict_templates(coop_like_templates(), version("QMON"))
+        assert predicted[FaultKind.SCSI_TIMEOUT].stage("A").duration <= 3.0
+
+    def test_fme_replaces_unmodeled_faults(self):
+        predicted = predict_templates(coop_like_templates(), version("FME"))
+        assert predicted[FaultKind.APP_HANG].self_recovered  # = app crash now
+
+    def test_predicted_unavailability_orders_like_the_paper(self):
+        coop_t = coop_like_templates()
+        u = {}
+        for name in ("COOP", "MEM", "MQ", "FME"):
+            spec = version(name)
+            templates = predict_templates(coop_t, spec) if name != "COOP" else coop_t
+            catalog = spec.transform_catalog(table1_catalog(
+                spec.server_count, with_frontend=spec.frontend))
+            u[name] = evaluate(templates, catalog).unavailability
+        assert u["MEM"] < u["COOP"]
+        assert u["MQ"] < u["MEM"]
+        assert u["FME"] < u["MQ"]
+
+    def test_prediction_does_not_mutate_input(self):
+        coop_t = coop_like_templates()
+        before = coop_t[FaultKind.NODE_FREEZE].stage("A").duration
+        predict_templates(coop_t, version("FME"))
+        assert coop_t[FaultKind.NODE_FREEZE].stage("A").duration == before
+
+
+class TestReportFormatting:
+    def test_format_model_result_lists_contributions(self):
+        result = evaluate(coop_like_templates())
+        text = format_model_result(result)
+        assert "availability=" in text
+        assert "node crash" in text
+
+    def test_format_comparison_aligns_versions(self):
+        a = evaluate(coop_like_templates())
+        text = format_comparison([a, a], title="t")
+        assert text.splitlines()[0] == "t"
+        assert "TOTAL unavail" in text
+        assert "node freeze" in text
+
+    def test_format_bar(self):
+        assert format_bar(50.0, 100.0, width=10) == "#####"
+        assert format_bar(0.0, 100.0) == ""
+        assert format_bar(1.0, 0.0) == ""
+        assert len(format_bar(500.0, 100.0, width=10)) == 10

@@ -1,0 +1,91 @@
+"""Section 6.3 scaling rules."""
+
+import pytest
+
+from repro.core.scaling import NODE_BOUND_KINDS, ScalingRules, scale_catalog, scale_template
+from repro.core.template import STAGE_NAMES, SevenStageTemplate, Stage
+from repro.faults.faultload import table1_catalog
+from repro.faults.types import FaultKind
+
+
+def template(normal=100.0, stage_tputs=None):
+    stage_tputs = stage_tputs or {}
+    stages = {
+        n: Stage(n, 10.0, stage_tputs.get(n, normal)) for n in STAGE_NAMES
+    }
+    return SevenStageTemplate(stages, normal, normal, version="COOP")
+
+
+class TestScaleTemplate:
+    def test_identity_at_k1(self):
+        tpl = template(stage_tputs={"A": 0.0, "C": 75.0})
+        scaled = scale_template(tpl, 1.0)
+        for n in STAGE_NAMES:
+            assert scaled.stage(n).throughput == pytest.approx(tpl.stage(n).throughput)
+        assert scaled.normal_tput == tpl.normal_tput
+
+    def test_durations_unchanged(self):
+        tpl = template(stage_tputs={"A": 0.0})
+        scaled = scale_template(tpl, 2.0)
+        for n in STAGE_NAMES:
+            assert scaled.stage(n).duration == tpl.stage(n).duration
+
+    def test_normal_scales_linearly(self):
+        scaled = scale_template(template(), 2.0)
+        assert scaled.normal_tput == 200.0
+        assert scaled.offered_rate == 200.0
+
+    def test_zero_stays_zero(self):
+        tpl = template(stage_tputs={"A": 0.0})
+        scaled = scale_template(tpl, 4.0)
+        assert scaled.stage("A").throughput == 0.0
+
+    def test_one_node_lost_fraction_improves(self):
+        # 4 nodes, stage at 75% (one node's worth lost): at 8 nodes the
+        # same fault should cost 1/8 => 87.5%.
+        tpl = template(stage_tputs={"C": 75.0})
+        scaled = scale_template(tpl, 2.0, ScalingRules(base_nodes=4))
+        assert scaled.stage("C").throughput == pytest.approx(0.875 * 200.0)
+
+    def test_whole_cluster_stall_fraction_preserved(self):
+        tpl = template(stage_tputs={"B": 20.0})  # 20% of normal: stall-ish
+        scaled = scale_template(tpl, 2.0)
+        assert scaled.stage("B").throughput == pytest.approx(40.0)  # still 20%
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            scale_template(template(), 0.0)
+
+    def test_version_tagged(self):
+        assert scale_template(template(), 2.0).version == "COOPx2"
+
+
+class TestScaleCatalog:
+    def test_node_bound_counts_multiply(self):
+        cat = scale_catalog(table1_catalog(4), 2)
+        for kind in NODE_BOUND_KINDS:
+            assert cat[kind].count == 2 * table1_catalog(4)[kind].count
+
+    def test_switch_count_fixed(self):
+        cat = scale_catalog(table1_catalog(4), 4)
+        assert cat[FaultKind.SWITCH_DOWN].count == 1
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            scale_catalog(table1_catalog(4), 0)
+
+    def test_scaled_model_doubles_node_fault_unavailability(self):
+        """COOP-style scaling: a version whose per-fault deficit fraction is
+        scale-invariant (whole-cluster stalls + fixed fractions) doubles
+        its node-fault unavailability when the cluster doubles."""
+        from repro.core.model import AvailabilityModel
+
+        tpl = template(stage_tputs={"A": 0.0, "B": 10.0, "C": 20.0})
+        cat4 = table1_catalog(4).without(FaultKind.SWITCH_DOWN)
+        base = AvailabilityModel(cat4).evaluate(
+            {k: tpl for k in cat4.kinds()}, 100.0, 100.0)
+        tpl8 = scale_template(tpl, 2.0)
+        cat8 = scale_catalog(cat4, 2)
+        scaled = AvailabilityModel(cat8).evaluate(
+            {k: tpl8 for k in cat8.kinds()}, 200.0, 200.0)
+        assert scaled.unavailability == pytest.approx(2 * base.unavailability, rel=0.01)

@@ -1,0 +1,96 @@
+"""Sensitivity analysis over the analytic model."""
+
+import pytest
+
+from repro.core.model import EnvironmentParams
+from repro.core.sensitivity import SensitivityAnalysis, format_levers
+from repro.core.template import STAGE_NAMES, SevenStageTemplate, Stage
+from repro.faults.faultload import FaultCatalog, FaultRate
+from repro.faults.types import FaultKind
+
+
+def template(normal=100.0, a_tput=0.0, c_tput=75.0, recovered=True):
+    stages = {n: Stage(n, 0.0, normal) for n in STAGE_NAMES}
+    stages["A"] = Stage("A", 15.0, a_tput)
+    stages["C"] = Stage("C", 0.0, c_tput, provenance="supplied")
+    stages["E"] = Stage("E", 0.0, c_tput, provenance="supplied")
+    stages["F"] = Stage("F", 10.0, 0.0)
+    return SevenStageTemplate(stages, normal, normal, self_recovered=recovered)
+
+
+@pytest.fixture
+def analysis():
+    catalog = FaultCatalog([
+        FaultRate(FaultKind.NODE_CRASH, 1.2e6, 180.0, 4),
+        FaultRate(FaultKind.NODE_FREEZE, 1.2e6, 180.0, 4),
+        FaultRate(FaultKind.SCSI_TIMEOUT, 3.2e7, 3600.0, 8),
+    ])
+    templates = {
+        FaultKind.NODE_CRASH: template(recovered=True),
+        FaultKind.NODE_FREEZE: template(recovered=False),  # operator path
+        FaultKind.SCSI_TIMEOUT: template(recovered=True),
+    }
+    return SensitivityAnalysis(templates, catalog, EnvironmentParams(),
+                               100.0, 100.0, version="T")
+
+
+class TestLevers:
+    def test_hardening_reduces_unavailability(self, analysis):
+        imp = analysis.harden(FaultKind.NODE_CRASH, 10.0)
+        assert imp.delta > 0
+        assert imp.new_unavailability < analysis.baseline.unavailability
+
+    def test_hardening_scales_inverse(self, analysis):
+        """10x MTTF removes ~90% of that class's contribution."""
+        base_u = analysis.baseline.contribution(FaultKind.NODE_CRASH).unavailability
+        imp = analysis.harden(FaultKind.NODE_CRASH, 10.0)
+        assert imp.delta == pytest.approx(0.9 * base_u, rel=0.01)
+
+    def test_faster_repair_shrinks_stage_c(self, analysis):
+        imp = analysis.faster_repair(FaultKind.SCSI_TIMEOUT, 0.1)
+        assert imp.delta > 0
+
+    def test_faster_operator_targets_splinter_classes(self, analysis):
+        imp = analysis.faster_operator(0.1)
+        # only the non-self-recovering class (freeze) benefits
+        freeze_u = analysis.baseline.contribution(FaultKind.NODE_FREEZE).unavailability
+        assert 0 < imp.delta <= freeze_u
+
+    def test_unknown_kind_rejected(self, analysis):
+        with pytest.raises(KeyError):
+            analysis.harden(FaultKind.APP_HANG, 10.0)
+
+    def test_ranked_levers_sorted(self, analysis):
+        levers = analysis.ranked_levers()
+        deltas = [l.delta for l in levers]
+        assert deltas == sorted(deltas, reverse=True)
+        # freeze (frequent + operator path) dominates the ranking
+        assert levers[0].kind in (FaultKind.NODE_FREEZE, None)
+
+
+class TestPathTo:
+    def test_reaches_reachable_target(self, analysis):
+        start = analysis.baseline.availability
+        target = min(1.0 - (1.0 - start) / 20.0, 0.999999)
+        steps = analysis.path_to(target)
+        assert steps  # needed at least one lever
+        assert len(steps) <= 10
+
+    def test_no_steps_if_already_there(self, analysis):
+        steps = analysis.path_to(analysis.baseline.availability / 2)
+        assert steps == []
+
+    def test_validates_target(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.path_to(1.5)
+
+    def test_nines(self, analysis):
+        assert analysis.nines() == pytest.approx(
+            -__import__("math").log10(analysis.baseline.unavailability))
+
+
+class TestFormatting:
+    def test_format_levers(self, analysis):
+        text = format_levers(analysis.ranked_levers(), analysis.baseline.unavailability)
+        assert "baseline unavailability" in text
+        assert "MTTF x10" in text

@@ -1,0 +1,47 @@
+"""Saturation search."""
+
+import pytest
+
+from repro.experiments.calibration import (
+    CalibrationConfig,
+    find_saturation,
+    measure_availability,
+    operating_rate,
+)
+from repro.experiments.configs import version
+from repro.experiments.profiles import SMALL
+
+pytestmark = pytest.mark.slow
+
+FAST_CAL = CalibrationConfig(warmup=70.0, window=20.0, max_iterations=5,
+                             rel_tolerance=0.15)
+
+
+class TestCalibration:
+    def test_indep_saturation_matches_profile(self):
+        sat, probes = find_saturation("INDEP", SMALL, FAST_CAL,
+                                      lo=40.0, hi=160.0)
+        # the profile's operating point (62) is ~70-90% of saturation
+        assert 65.0 <= sat <= 130.0
+        assert len(probes) >= 3
+
+    def test_measure_availability_below_and_above(self):
+        low = measure_availability(version("INDEP"), SMALL, 40.0, FAST_CAL)
+        high = measure_availability(version("INDEP"), SMALL, 200.0, FAST_CAL)
+        assert low > 0.99
+        assert high < 0.9
+
+    def test_unsustainable_floor_rejected(self):
+        with pytest.raises(ValueError):
+            find_saturation("INDEP", SMALL, FAST_CAL, lo=500.0, hi=1000.0)
+
+    def test_operating_rate_fraction(self):
+        rate = operating_rate("INDEP", SMALL, fraction=0.5,
+                              config=FAST_CAL, lo=40.0, hi=160.0)
+        assert 30.0 <= rate <= 70.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_saturation("INDEP", SMALL, FAST_CAL, lo=100.0, hi=50.0)
+        with pytest.raises(ValueError):
+            operating_rate("INDEP", SMALL, fraction=0.0)

@@ -1,0 +1,42 @@
+"""CLI plumbing (cheap commands only; experiment commands are covered by
+the integration/benchmark suites)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_versions_command(self, capsys):
+        assert main(["versions"]) == 0
+        out = capsys.readouterr().out
+        for name in ("INDEP", "COOP", "FME", "X-SW-RAID"):
+            assert name in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quantify", "NOPE"])
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inject", "COOP", "volcano"])
+
+    def test_figure_unknown_name_is_error(self, capsys):
+        assert main(["--quick", "figure", "fig999"]) == 2
+
+    def test_quick_flag_parsed(self):
+        args = build_parser().parse_args(["--quick", "versions"])
+        assert args.quick
+
+    def test_inject_target_option(self):
+        args = build_parser().parse_args(
+            ["inject", "COOP", "scsi_timeout", "--target", "n2.disk1"])
+        assert args.target == "n2.disk1"
+
+    def test_validate_horizon_option(self):
+        args = build_parser().parse_args(["validate", "COOP", "--horizon", "60"])
+        assert args.horizon == 60.0

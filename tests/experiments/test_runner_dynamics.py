@@ -1,0 +1,53 @@
+"""World-level dynamics: operator reset and large-cluster builds."""
+
+import pytest
+
+from repro.experiments.configs import version
+from repro.experiments.profiles import SMALL
+from repro.experiments.runner import build_world
+
+pytestmark = pytest.mark.slow
+
+
+class TestOperatorReset:
+    def test_reset_reforms_a_splintered_cluster(self):
+        from repro.faults.types import FaultKind
+
+        world = build_world(version("COOP"), SMALL)
+        env = world.env
+        env.run(until=90.0)
+        world.injector.inject_for(FaultKind.NODE_FREEZE, "n1", duration=60.0)
+        env.run(until=180.0)
+        assert sorted(world.server_on("n1").coop) == [1]  # splintered
+        world.operator_reset()
+        env.run(until=260.0)
+        for srv in world.servers:
+            assert sorted(srv.coop) == [0, 1, 2, 3]
+        rate = world.stats.series.mean_rate(240.0, 260.0)
+        assert rate > 0.8 * world.offered_rate
+
+    def test_reset_skips_down_hosts(self):
+        world = build_world(version("COOP"), SMALL)
+        env = world.env
+        env.run(until=90.0)
+        world.host_by_name("n2").crash()
+        world.operator_reset()
+        env.run(until=140.0)
+        up = [s for s in world.servers if s.host.is_up]
+        for srv in up:
+            assert sorted(srv.coop) == [0, 1, 3]
+
+
+class TestLargeClusterBuild:
+    def test_dataset_scales_with_nodes(self):
+        w4 = build_world(version("COOP"), SMALL)
+        w8 = build_world(version("COOP").with_nodes(8), SMALL)
+        assert w8.servers[0].trace.n_files == 2 * w4.servers[0].trace.n_files
+        assert w8.offered_rate == 2 * w4.offered_rate
+        assert len(w8.hosts) == 8
+
+    def test_eight_node_cluster_serves_scaled_load(self):
+        world = build_world(version("COOP").with_nodes(8), SMALL)
+        world.env.run(until=100.0)
+        win = world.stats.window(75.0, 100.0)
+        assert win["availability"] > 0.97

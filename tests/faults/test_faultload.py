@@ -1,0 +1,97 @@
+"""Fault catalog (Table 1) and its transforms."""
+
+import pytest
+
+from repro.faults.faultload import (
+    HOUR,
+    MINUTE,
+    MONTH,
+    WEEK,
+    YEAR,
+    FaultCatalog,
+    FaultRate,
+    table1_catalog,
+)
+from repro.faults.types import ALL_FAULT_KINDS, FaultKind
+
+
+class TestTable1:
+    def test_values_match_paper(self):
+        cat = table1_catalog(n_nodes=4, with_frontend=True)
+        assert cat[FaultKind.LINK_DOWN] == FaultRate(FaultKind.LINK_DOWN, 6 * MONTH, 3 * MINUTE, 4)
+        assert cat[FaultKind.SWITCH_DOWN].mttf == YEAR
+        assert cat[FaultKind.SWITCH_DOWN].count == 1
+        assert cat[FaultKind.SCSI_TIMEOUT].count == 8
+        assert cat[FaultKind.SCSI_TIMEOUT].mttr == HOUR
+        assert cat[FaultKind.NODE_CRASH].mttf == 2 * WEEK
+        assert cat[FaultKind.APP_CRASH].mttf == 2 * MONTH
+        assert cat[FaultKind.FRONTEND_FAILURE].count == 1
+
+    def test_app_failures_combine_to_one_month(self):
+        # "Application hang and crash together represent an MTTF of 1 month"
+        cat = table1_catalog()
+        combined_rate = (cat[FaultKind.APP_CRASH].class_rate
+                         + cat[FaultKind.APP_HANG].class_rate) / 4
+        assert combined_rate == pytest.approx(1 / MONTH)
+
+    def test_frontend_only_when_requested(self):
+        assert FaultKind.FRONTEND_FAILURE not in table1_catalog()
+        assert FaultKind.FRONTEND_FAILURE in table1_catalog(with_frontend=True)
+
+    def test_node_count_scales_rows(self):
+        cat = table1_catalog(n_nodes=8)
+        assert cat[FaultKind.NODE_CRASH].count == 8
+        assert cat[FaultKind.SCSI_TIMEOUT].count == 16
+        assert cat[FaultKind.SWITCH_DOWN].count == 1
+
+
+class TestValidation:
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValueError):
+            FaultRate(FaultKind.NODE_CRASH, 0.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            FaultRate(FaultKind.NODE_CRASH, 1.0, -1.0, 1)
+
+    def test_rejects_duplicates(self):
+        rate = FaultRate(FaultKind.NODE_CRASH, 1.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            FaultCatalog([rate, rate])
+
+    def test_class_rate(self):
+        rate = FaultRate(FaultKind.NODE_CRASH, 100.0, 1.0, 4)
+        assert rate.class_rate == pytest.approx(0.04)
+
+
+class TestTransforms:
+    def test_with_raid_improves_scsi_only(self):
+        cat = table1_catalog()
+        raided = cat.with_raid()
+        assert raided[FaultKind.SCSI_TIMEOUT].mttf > 100 * cat[FaultKind.SCSI_TIMEOUT].mttf
+        assert raided[FaultKind.NODE_CRASH] == cat[FaultKind.NODE_CRASH]
+
+    def test_with_backup_switch(self):
+        cat = table1_catalog()
+        sw = cat.with_backup_switch()
+        assert sw[FaultKind.SWITCH_DOWN].mttf > 1000 * YEAR
+
+    def test_with_redundant_frontend_noop_without_fe(self):
+        cat = table1_catalog()
+        assert cat.with_redundant_frontend() is cat
+
+    def test_scale_counts_selected_kinds(self):
+        cat = table1_catalog().scale_counts(2, [FaultKind.NODE_CRASH])
+        assert cat[FaultKind.NODE_CRASH].count == 8
+        assert cat[FaultKind.NODE_FREEZE].count == 4
+
+    def test_without(self):
+        cat = table1_catalog().without(FaultKind.SWITCH_DOWN)
+        assert FaultKind.SWITCH_DOWN not in cat
+        assert FaultKind.NODE_CRASH in cat
+
+    def test_replace_rate(self):
+        cat = table1_catalog().replace_rate(FaultKind.NODE_CRASH, mttr=60.0)
+        assert cat[FaultKind.NODE_CRASH].mttr == 60.0
+
+    def test_iteration_covers_all(self):
+        cat = table1_catalog(with_frontend=True)
+        assert set(cat.kinds()) == set(ALL_FAULT_KINDS)

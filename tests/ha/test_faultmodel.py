@@ -1,0 +1,67 @@
+"""The declarative abstract fault model (Section 4.5)."""
+
+import pytest
+
+from repro.ha.faultmodel import (
+    PRESS_FAULT_MODEL,
+    AbstractFault,
+    EnforcementAction,
+    FaultModel,
+    Symptoms,
+)
+
+
+class TestPressModel:
+    def test_covers_the_paper_vocabulary(self):
+        for fault in (AbstractFault.NODE_CRASH, AbstractFault.APP_CRASH,
+                      AbstractFault.NODE_UNREACHABLE):
+            assert PRESS_FAULT_MODEL.covers(fault)
+
+    def test_healthy_symptoms_no_action(self):
+        s = Symptoms(disks_ok=True, app_responsive=True, confirmations=5)
+        assert PRESS_FAULT_MODEL.enforce(s) is EnforcementAction.NONE
+
+    def test_disk_dead_app_stuck_offlines_node(self):
+        s = Symptoms(disks_ok=False, app_responsive=False, confirmations=2)
+        assert PRESS_FAULT_MODEL.enforce(s) is EnforcementAction.OFFLINE_NODE
+
+    def test_app_stuck_disks_fine_restarts_app(self):
+        s = Symptoms(disks_ok=True, app_responsive=False, confirmations=2)
+        assert PRESS_FAULT_MODEL.enforce(s) is EnforcementAction.RESTART_APP
+
+    def test_disk_dead_but_app_responsive_waits(self):
+        """Paper: FME acts only when the disk failure has led to an
+        application hang or crash."""
+        s = Symptoms(disks_ok=False, app_responsive=True, confirmations=5)
+        assert PRESS_FAULT_MODEL.enforce(s) is EnforcementAction.NONE
+
+    def test_unconfirmed_symptoms_not_enforced(self):
+        s = Symptoms(disks_ok=False, app_responsive=False, confirmations=1)
+        assert PRESS_FAULT_MODEL.enforce(s) is EnforcementAction.NONE
+
+
+class TestCustomModels:
+    def test_model_without_node_crash_falls_back_to_restart(self):
+        model = FaultModel("appsonly",
+                           handled=frozenset({AbstractFault.APP_CRASH}))
+        s = Symptoms(disks_ok=False, app_responsive=False, confirmations=2)
+        assert model.enforce(s) is EnforcementAction.RESTART_APP
+
+    def test_model_without_app_crash_cannot_restart(self):
+        model = FaultModel("nothing", handled=frozenset())
+        s = Symptoms(disks_ok=True, app_responsive=False, confirmations=2)
+        assert model.enforce(s) is EnforcementAction.NONE
+
+    def test_min_confirmations_respected(self):
+        model = FaultModel("patient",
+                           handled=frozenset({AbstractFault.APP_CRASH}),
+                           min_confirmations=4)
+        s3 = Symptoms(disks_ok=True, app_responsive=False, confirmations=3)
+        s4 = Symptoms(disks_ok=True, app_responsive=False, confirmations=4)
+        assert model.enforce(s3) is EnforcementAction.NONE
+        assert model.enforce(s4) is EnforcementAction.RESTART_APP
+
+    def test_symptoms_healthy_property(self):
+        assert Symptoms(True, True).healthy
+        assert not Symptoms(False, True).healthy
+        assert not Symptoms(True, False).healthy

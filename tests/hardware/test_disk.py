@@ -1,0 +1,108 @@
+"""Disk device model and SCSI-timeout fault mode."""
+
+import pytest
+
+from repro.hardware.disk import Disk, DiskParams
+from repro.hardware.host import Host
+
+
+@pytest.fixture
+def host(env):
+    return Host(env, "n0", 0)
+
+
+@pytest.fixture
+def disk(env, host):
+    return Disk(env, host, 0, DiskParams(seek_time=0.01, jitter=0.0))
+
+
+def run_io(env, disk, sizes, done_times):
+    def body():
+        for size in sizes:
+            sub = disk.submit(size)
+            yield sub.enqueued
+            yield sub.done
+            done_times.append(env.now)
+
+    env.process(body(), owner=disk.host.os)
+
+
+class TestServiceTime:
+    def test_params_validation_and_determinism(self):
+        p = DiskParams(seek_time=0.01, transfer_bandwidth=1e6, jitter=0.0)
+        assert p.service_time(10_000) == pytest.approx(0.02)
+
+    def test_jitter_has_unit_mean(self, rngs):
+        p = DiskParams(seek_time=0.01, jitter=0.3)
+        rng = rngs.stream("d")
+        times = [p.service_time(0, rng) for _ in range(5000)]
+        assert abs(sum(times) / len(times) - 0.01) < 0.001
+
+    def test_ops_serialize(self, env, disk):
+        done = []
+        run_io(env, disk, [0, 0, 0], done)
+        env.run()
+        assert done == pytest.approx([0.01, 0.02, 0.03])
+        assert disk.ops_served == 3
+
+    def test_registered_on_host(self, host, disk):
+        assert disk in host.disks
+
+
+class TestScsiTimeout:
+    def test_fault_hangs_inflight_and_queued(self, env, disk):
+        done = []
+        run_io(env, disk, [0, 0, 0], done)
+        env.run(until=0.015)
+        disk.set_faulty()
+        env.run(until=5.0)
+        assert done == [0.01]  # only the op completed before the fault
+        disk.repair()
+        env.run(until=6.0)
+        assert len(done) == 3
+
+    def test_fault_mid_service_holds_completion(self, env, disk):
+        done = []
+        run_io(env, disk, [0], done)
+        env.run(until=0.005)
+        disk.set_faulty()
+        env.run(until=2.0)
+        assert done == []
+        disk.repair()
+        env.run(until=3.0)
+        assert len(done) == 1
+
+    def test_set_faulty_idempotent(self, disk):
+        disk.set_faulty()
+        disk.set_faulty()
+        disk.repair()
+        disk.repair()
+        assert not disk.faulty
+
+    def test_depth_counts_blocked_submitters(self, env, host):
+        disk = Disk(env, host, 1, DiskParams(seek_time=1.0, jitter=0.0, queue_capacity=2))
+        def body():
+            for _ in range(5):
+                sub = disk.submit(0)
+                yield sub.enqueued
+        env.process(body(), owner=host.os)
+        env.run(until=0.5)
+        assert disk.depth >= 2
+
+
+class TestHostIntegration:
+    def test_host_crash_drops_queue(self, env, host, disk):
+        done = []
+        run_io(env, disk, [0] * 10, done)
+        env.run(until=0.015)
+        host.crash()
+        env.run(until=5)
+        assert len(done) == 1
+
+    def test_boot_respawns_server(self, env, host, disk):
+        host.crash()
+        host.boot()
+        done = []
+        run_io(env, disk, [0], done)
+        env.run(until=1.0)
+        assert len(done) == 1

@@ -1,0 +1,171 @@
+"""Host / ProcGroup / NodeService fault transitions."""
+
+import pytest
+
+from repro.hardware.host import Host, NodeService
+from repro.sim.kernel import SimulationError
+from repro.sim.store import Store
+
+
+class EchoService(NodeService):
+    """Minimal service: counts ticks while running."""
+
+    service_name = "echo"
+
+    def __init__(self, host):
+        super().__init__(host)
+        self.ticks = 0
+        self.starts = 0
+        self.crashes = 0
+        self.running_flag = False
+
+    def start(self):
+        if self.fault_latched or not self.host.is_up or not self.group.alive:
+            return
+        self.starts += 1
+        self.running_flag = True
+        self.env.process(self._tick(), owner=self.group)
+
+    def on_crash(self):
+        self.crashes += 1
+        self.running_flag = False
+
+    def _tick(self):
+        while True:
+            yield self.env.timeout(1.0)
+            self.ticks += 1
+
+
+@pytest.fixture
+def host(env):
+    return Host(env, "n0", 0)
+
+
+@pytest.fixture
+def service(host):
+    svc = EchoService(host)
+    svc.start()
+    return svc
+
+
+class TestHostLifecycle:
+    def test_initial_state(self, host):
+        assert host.is_up and host.pingable and not host.is_frozen
+
+    def test_duplicate_group_rejected(self, host):
+        host.add_group("g")
+        with pytest.raises(SimulationError):
+            host.add_group("g")
+
+    def test_duplicate_service_rejected(self, env):
+        host = Host(env, "n1", 1)
+        EchoService(host)
+        with pytest.raises(SimulationError):
+            EchoService(host)
+
+    def test_crash_stops_everything(self, env, host, service):
+        env.run(until=3.5)
+        host.crash()
+        env.run(until=10)
+        assert service.ticks == 3
+        assert not host.pingable
+        assert service.crashes == 1
+
+    def test_crash_clears_volatile_stores(self, env, host, service):
+        store = service.group.own_store(Store(env))
+        store.put_nowait("state")
+        host.crash()
+        assert store.level == 0
+
+    def test_boot_restarts_services(self, env, host, service):
+        env.run(until=2.5)
+        host.crash()
+        host.boot()
+        env.run(until=5.5)
+        assert service.starts == 2
+        assert service.ticks > 2
+
+    def test_boot_hooks_called(self, env, host, service):
+        called = []
+        host.on_boot_hooks.append(lambda h: called.append(h.name))
+        host.crash()
+        host.boot()
+        assert called == ["n0"]
+
+    def test_freeze_unfreeze(self, env, host, service):
+        env.run(until=2.5)
+        host.freeze()
+        assert not host.pingable
+        env.run(until=10)
+        assert service.ticks == 2
+        host.unfreeze()
+        env.run(until=12.5)
+        assert service.ticks > 2
+
+    def test_freeze_crashed_host_rejected(self, host):
+        host.crash()
+        with pytest.raises(SimulationError):
+            host.freeze()
+
+    def test_crash_idempotent(self, host, service):
+        host.crash()
+        host.crash()
+        assert service.crashes == 1
+
+
+class TestAppFaults:
+    def test_app_crash_only_kills_the_app(self, env, host, service):
+        other = host.add_group("other")
+        other_ticks = []
+
+        def other_proc():
+            while True:
+                yield env.timeout(1.0)
+                other_ticks.append(env.now)
+
+        env.process(other_proc(), owner=other)
+        env.run(until=2.5)
+        service.inject_crash()
+        env.run(until=5.5)
+        assert service.ticks == 2
+        assert len(other_ticks) == 5  # the other process group is untouched
+        assert host.pingable  # OS still answers pings
+
+    def test_crash_latch_blocks_restart(self, env, host, service):
+        service.inject_crash()
+        service.force_restart()
+        assert service.starts == 1  # restart refused while latched
+        service.repair_crash()
+        assert service.starts == 2
+
+    def test_hang_and_resume(self, env, host, service):
+        env.run(until=2.5)
+        service.inject_hang()
+        env.run(until=8)
+        assert service.ticks == 2
+        service.repair_hang()
+        env.run(until=9.6)
+        assert service.ticks >= 3
+
+    def test_repair_hang_after_force_restart_is_noop(self, env, host, service):
+        service.inject_hang()
+        service.force_restart()  # FME converted hang -> crash-restart
+        starts = service.starts
+        service.repair_hang()  # injector repair arrives later
+        assert service.starts == starts
+        assert service.group.is_runnable()
+
+    def test_hang_then_node_crash_then_boot(self, env, host, service):
+        service.inject_hang()
+        host.crash()
+        host.boot()
+        env.run(until=2.5)
+        assert service.running_flag
+
+    def test_running_property(self, env, host, service):
+        assert service.running
+        service.inject_hang()
+        assert not service.running
+        assert service.alive  # process exists, just hung
+        service.repair_hang()
+        assert service.running

@@ -1,0 +1,57 @@
+"""Composite-MTTF arithmetic."""
+
+import pytest
+
+from repro.hardware.raid import (
+    composite_mttf,
+    parallel_mttf,
+    redundant_pair_mttf,
+    series_mttf,
+)
+
+HOUR = 3600.0
+YEAR = 365 * 24 * HOUR
+
+
+class TestSeries:
+    def test_divides_by_count(self):
+        assert series_mttf(100.0, 4) == 25.0
+
+    def test_single_component_identity(self):
+        assert series_mttf(100.0, 1) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_mttf(-1.0, 2)
+        with pytest.raises(ValueError):
+            series_mttf(1.0, 0)
+
+
+class TestParallel:
+    def test_pair_formula(self):
+        # MTTF^2 / (2 * MTTR)
+        assert redundant_pair_mttf(100.0, 1.0) == pytest.approx(5000.0)
+
+    def test_n1_identity(self):
+        assert parallel_mttf(123.0, 1.0, 1) == 123.0
+
+    def test_mirroring_disks_gains_orders_of_magnitude(self):
+        # 1-year disks with 1-hour repairs: mirrored pair lives ~4400 years.
+        improved = redundant_pair_mttf(YEAR, HOUR)
+        assert improved / YEAR > 1000
+
+    def test_triple_beats_pair(self):
+        assert parallel_mttf(100.0, 1.0, 3) > parallel_mttf(100.0, 1.0, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parallel_mttf(100.0, 0.0, 2)
+
+
+class TestComposite:
+    def test_groups_in_series(self):
+        one_group = parallel_mttf(100.0, 1.0, 2)
+        assert composite_mttf(100.0, 1.0, 4, redundancy=2) == pytest.approx(one_group / 4)
+
+    def test_no_redundancy_is_plain_series(self):
+        assert composite_mttf(100.0, 1.0, 8) == series_mttf(100.0, 8)

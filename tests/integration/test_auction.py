@@ -1,0 +1,107 @@
+"""Auction service: read/write asymmetry and elections."""
+
+import pytest
+
+from repro.auction import AuctionConfig, build_auction
+from repro.faults.types import FaultKind
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture
+def world():
+    return build_auction(seed=2)
+
+
+class TestSteadyState:
+    def test_both_classes_served(self, world):
+        world.env.run(until=30.0)
+        assert world.read_stats.window(15, 30)["availability"] > 0.99
+        assert world.write_stats.window(15, 30)["availability"] > 0.99
+
+    def test_aggregate_is_sum_of_classes(self, world):
+        world.env.run(until=30.0)
+        assert world.stats.issued == (world.read_stats.issued
+                                      + world.write_stats.issued)
+        assert world.stats.succeeded == (world.read_stats.succeeded
+                                         + world.write_stats.succeeded)
+
+    def test_reads_spread_over_replicas(self, world):
+        world.env.run(until=30.0)
+        busy = [s for s in world.data if s.jobs_done > 50]
+        assert len(busy) >= 2  # not everything lands on the master
+
+
+class TestMasterCrash:
+    def test_writes_blocked_reads_flow_during_election(self, world):
+        env = world.env
+        env.run(until=30.0)
+        world.injector.inject(FaultKind.NODE_CRASH,
+                              world.data_cluster.master.host.name)
+        env.run(until=46.0)
+        read_avail = world.read_stats.window(32, 46)["availability"]
+        write_avail = world.write_stats.window(32, 46)["availability"]
+        assert read_avail > 0.9
+        assert write_avail < 0.5
+        assert read_avail > write_avail + 0.3  # the asymmetry itself
+
+    def test_election_promotes_highest_id_replica(self, world):
+        env = world.env
+        env.run(until=30.0)
+        old = world.data_cluster.master
+        world.injector.inject(FaultKind.NODE_CRASH, old.host.name)
+        env.run(until=60.0)
+        new = world.data_cluster.master
+        assert new is not old
+        candidates = [s for s in world.data if s is not old]
+        assert new is max(candidates, key=lambda s: s.host.node_id)
+
+    def test_writes_recover_after_election(self, world):
+        env = world.env
+        env.run(until=30.0)
+        world.injector.inject(FaultKind.NODE_CRASH,
+                              world.data_cluster.master.host.name)
+        env.run(until=70.0)
+        assert world.write_stats.window(55, 70)["availability"] > 0.95
+
+    def test_election_marker_recorded(self, world):
+        env = world.env
+        env.run(until=30.0)
+        world.injector.inject(FaultKind.NODE_CRASH,
+                              world.data_cluster.master.host.name)
+        env.run(until=60.0)
+        assert world.markers.first("auction_election") is not None
+
+
+class TestReplicaCrash:
+    def test_neither_class_disturbed(self, world):
+        env = world.env
+        env.run(until=30.0)
+        replica = [s for s in world.data
+                   if s is not world.data_cluster.master][0]
+        world.injector.inject(FaultKind.NODE_CRASH, replica.host.name)
+        env.run(until=60.0)
+        assert world.read_stats.window(35, 60)["availability"] > 0.97
+        assert world.write_stats.window(35, 60)["availability"] > 0.97
+        assert world.data_cluster.master is world.data[0]  # no election
+
+
+class TestAppTier:
+    def test_app_node_crash_tolerated(self, world):
+        env = world.env
+        env.run(until=30.0)
+        world.injector.inject(FaultKind.NODE_CRASH, world.app[0].host.name)
+        env.run(until=60.0)
+        assert world.stats.window(40, 60)["availability"] > 0.9
+
+    def test_operator_reset_recovers(self, world):
+        env = world.env
+        env.run(until=30.0)
+        for srv in world.app:
+            srv.inject_hang()
+        env.run(until=45.0)
+        for srv in world.app:
+            srv.repair_hang()
+        world.operator_reset()
+        env.run(until=80.0)
+        assert world.stats.window(70, 80)["availability"] > 0.95

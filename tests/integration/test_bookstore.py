@@ -1,0 +1,148 @@
+"""The 3-tier bookstore: tier mechanics and cross-tier fault propagation."""
+
+import pytest
+
+from repro.bookstore import BookstoreConfig, build_bookstore
+from repro.faults.types import FaultKind
+
+
+@pytest.fixture
+def world():
+    return build_bookstore(rate=120.0, seed=3)
+
+
+def steady(world, until=40.0):
+    world.env.run(until=until)
+    return world.stats.window(until - 15.0, until)
+
+
+class TestSteadyState:
+    def test_serves_offered_load(self, world):
+        win = steady(world)
+        assert win["availability"] > 0.99
+        assert win["success_rate"] == pytest.approx(120.0, rel=0.1)
+
+    def test_all_tiers_participate(self, world):
+        steady(world)
+        assert all(s.jobs_done > 100 for s in world.web)
+        assert all(s.jobs_done > 100 for s in world.app)
+        assert world.db_cluster.primary.jobs_done > 100
+
+    def test_replica_idle_until_failover(self, world):
+        steady(world)
+        replica = world.db[1]
+        assert replica.jobs_done == 0
+
+    def test_order_mix_generates_more_queries(self):
+        heavy = build_bookstore(BookstoreConfig(order_fraction=1.0), rate=60.0, seed=3)
+        light = build_bookstore(BookstoreConfig(order_fraction=0.0), rate=60.0, seed=3)
+        heavy.env.run(until=30)
+        light.env.run(until=30)
+        q_heavy = sum(s.jobs_done for s in heavy.db)
+        q_light = sum(s.jobs_done for s in light.db)
+        assert q_heavy > 2 * q_light
+
+
+class TestFaultPropagation:
+    def test_db_primary_crash_stalls_then_fails_over(self, world):
+        steady(world)
+        world.injector.inject(FaultKind.NODE_CRASH, world.db[0].host.name)
+        env = world.env
+        env.run(until=47.0)
+        # Whole-service stall while the failure is undetected: the web
+        # tier can't complete anything without the database.
+        assert world.stats.series.mean_rate(42.0, 47.0) < 30.0
+        env.run(until=70.0)
+        assert world.db_cluster.primary is world.db[1]
+        assert world.stats.series.mean_rate(60.0, 70.0) > 100.0
+        assert world.markers.first("db_failover") is not None
+
+    def test_db_disk_fault_is_the_blind_spot(self, world):
+        """A wedged database still heartbeats: no failover, service down
+        until the disk is repaired (the divergence FME fixes in PRESS)."""
+        steady(world)
+        fault = world.injector.inject(FaultKind.SCSI_TIMEOUT,
+                                      world.db_target(FaultKind.SCSI_TIMEOUT))
+        world.env.run(until=90.0)
+        assert world.markers.first("db_failover") is None
+        assert world.stats.series.mean_rate(70.0, 90.0) < 40.0
+        world.injector.repair(fault)
+        world.env.run(until=120.0)
+        assert world.stats.series.mean_rate(110.0, 120.0) > 90.0
+
+    def test_app_node_crash_halves_the_tier(self, world):
+        steady(world)
+        world.injector.inject(FaultKind.NODE_CRASH, world.app[0].host.name)
+        world.env.run(until=70.0)
+        # One app node handles the load (workers spare) or sheds a little;
+        # service continues, unlike the db-primary case.
+        assert world.stats.series.mean_rate(55.0, 70.0) > 80.0
+
+    def test_web_app_crash_refuses_only_its_share(self, world):
+        steady(world)
+        world.injector.inject(FaultKind.APP_CRASH, world.web[0].host.name)
+        world.env.run(until=70.0)
+        win = world.stats.window(50.0, 70.0)
+        assert 0.3 < win["availability"] < 0.9  # half of DNS'd clients refused
+
+    def test_rebooted_primary_rejoins_as_replica(self, world):
+        steady(world)
+        fault = world.injector.inject(FaultKind.NODE_CRASH, world.db[0].host.name)
+        world.env.run(until=70.0)
+        world.injector.repair(fault)
+        world.env.run(until=100.0)
+        assert world.db_cluster.primary is world.db[1]  # no failback
+        assert world.db[0].accepting  # back as a healthy replica
+
+    def test_operator_reset_restores_service(self, world):
+        steady(world)
+        for srv in world.app:
+            srv.inject_hang()
+        world.env.run(until=55.0)
+        assert world.stats.series.mean_rate(48.0, 55.0) < 20.0
+        # the operator resets the whole service (hang cleared by restart)
+        for srv in world.app:
+            srv.group.thaw(world.env)  # fault "repaired"
+            srv.on_resume()
+        world.operator_reset()
+        world.env.run(until=90.0)
+        assert world.stats.series.mean_rate(80.0, 90.0) > 100.0
+
+
+class TestMethodologyGenerality:
+    def test_template_fits_bookstore_faults(self):
+        """The paper's 7-stage template fits the bookstore's behaviour."""
+        from repro.core.template import TemplateFitter
+        from repro.faults.campaign import CampaignConfig, SingleFaultCampaign
+
+        world = build_bookstore(rate=120.0, seed=5)
+        cfg = CampaignConfig(warmup=40.0, normal_window=15.0, fault_active=60.0,
+                             post_repair_observe=40.0, post_reset_observe=30.0)
+        campaign = SingleFaultCampaign(world, cfg)
+        trace = campaign.run(FaultKind.NODE_CRASH, world.db[0].host.name)
+        tpl = TemplateFitter().fit(trace)
+        # Stage A: the undetected stall before failover kicks in.
+        assert 4.0 <= tpl.stage("A").duration <= 20.0
+        assert tpl.stage("A").throughput < 0.3 * trace.normal_tput
+        # Stage C: degraded-but-serving on the promoted replica.
+        assert tpl.stage("C").throughput > 0.7 * trace.normal_tput
+        assert tpl.self_recovered
+
+    def test_model_evaluates_bookstore_catalog(self):
+        from repro.core.model import AvailabilityModel
+        from repro.core.template import TemplateFitter
+        from repro.faults.campaign import CampaignConfig, SingleFaultCampaign
+
+        cfg = CampaignConfig(warmup=40.0, normal_window=15.0, fault_active=50.0,
+                             post_repair_observe=40.0, post_reset_observe=30.0)
+        templates = {}
+        for kind in (FaultKind.NODE_CRASH, FaultKind.APP_CRASH):
+            world = build_bookstore(rate=120.0, seed=5)
+            trace = SingleFaultCampaign(world, cfg).run(
+                kind, world.db_target(kind) if kind is FaultKind.NODE_CRASH
+                else world.default_target(kind))
+            templates[kind] = TemplateFitter().fit(trace)
+        world = build_bookstore(rate=120.0, seed=5)
+        result = AvailabilityModel(world.catalog).evaluate(
+            templates, 120.0, 120.0, version="BOOKSTORE")
+        assert 0.99 < result.availability < 1.0

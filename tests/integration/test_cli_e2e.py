@@ -1,0 +1,31 @@
+"""CLI end-to-end (quick mode): the commands users actually run."""
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.slow
+
+
+def test_inject_prints_timeline_and_sets(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    assert main(["--quick", "inject", "COOP", "node_crash"]) == 0
+    out = capsys.readouterr().out
+    assert "INJECT" in out
+    assert "REPAIR" in out
+    assert "cooperation sets" in out
+
+
+def test_quantify_single_version(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    assert main(["--quick", "quantify", "INDEP"]) == 0
+    out = capsys.readouterr().out
+    assert "version INDEP" in out
+    assert "availability=" in out
+
+
+def test_figure_table1(capsys):
+    assert main(["--quick", "figure", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "node crash" in out
+    assert "MTTF" in out

@@ -1,0 +1,51 @@
+"""Whole-world determinism: identical seeds produce identical runs.
+
+The methodology compares availability across versions; scheduler or RNG
+nondeterminism would show up as irreproducible templates.  These tests
+pin the strongest guarantee the kernel makes.
+"""
+
+import pytest
+
+from repro.experiments.configs import version
+from repro.experiments.profiles import SMALL
+from repro.experiments.runner import build_world
+from repro.faults.types import FaultKind
+
+pytestmark = pytest.mark.slow
+
+
+def run_world(seed, with_fault=False):
+    world = build_world(version("COOP"), SMALL, seed=seed)
+    env = world.env
+    if with_fault:
+        env.run(until=80.0)
+        world.injector.inject_for(FaultKind.NODE_FREEZE, "n1", duration=30.0)
+    env.run(until=140.0)
+    return world
+
+
+def fingerprint(world):
+    return (
+        world.stats.issued,
+        world.stats.succeeded,
+        dict(world.stats.outcomes),
+        tuple(round(t, 9) for t in world.stats.series.times[:500]),
+        tuple(sorted(s.coop) and tuple(sorted(s.coop)) for s in world.servers),
+        tuple(len(s.cache) for s in world.servers),
+    )
+
+
+class TestDeterminism:
+    def test_fault_free_identical(self):
+        assert fingerprint(run_world(7)) == fingerprint(run_world(7))
+
+    def test_fault_run_identical(self):
+        a = run_world(7, with_fault=True)
+        b = run_world(7, with_fault=True)
+        assert fingerprint(a) == fingerprint(b)
+        assert [tuple(e) for e in a.markers.entries[:50]] == \
+               [tuple(e) for e in b.markers.entries[:50]]
+
+    def test_different_seeds_differ(self):
+        assert fingerprint(run_world(7)) != fingerprint(run_world(8))

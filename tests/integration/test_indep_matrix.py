@@ -1,0 +1,51 @@
+"""INDEP under every fault kind: no propagation, clean isolation."""
+
+import pytest
+
+from repro.core.quantify import QuantifyConfig, run_single_fault
+from repro.core.template import TemplateFitter
+from repro.experiments.configs import version
+from repro.faults.types import FaultKind
+
+pytestmark = pytest.mark.slow
+
+CFG = QuantifyConfig.quick()
+
+
+@pytest.mark.parametrize("kind", [
+    FaultKind.NODE_CRASH,
+    FaultKind.NODE_FREEZE,
+    FaultKind.APP_CRASH,
+    FaultKind.APP_HANG,
+    FaultKind.SCSI_TIMEOUT,
+])
+def test_single_node_fault_costs_at_most_one_share(kind):
+    trace, world = run_single_fault(version("INDEP"), kind, CFG)
+    tpl = TemplateFitter(CFG.fit).fit(trace)
+    # During the fault the other three nodes keep serving: throughput
+    # never drops below ~3/4 of normal (minus noise).
+    during = trace.series.mean_rate(trace.t_inject + 2, trace.t_repair)
+    assert during > 0.6 * trace.normal_tput
+    # Nothing detects anything (INDEP has no detection machinery)...
+    assert trace.t_detect is None
+    # ...and nothing splinters: service returns by itself after repair.
+    assert tpl.self_recovered
+    assert trace.t_reset is None
+
+
+def test_scsi_fault_on_indep_only_slows_one_node(CFG=CFG):
+    trace, world = run_single_fault(version("INDEP"), FaultKind.SCSI_TIMEOUT, CFG)
+    # The faulty node wedges on its disk queue; its share times out while
+    # the others are untouched.
+    healthy = [s for s in world.servers if s.host.name != "n1"]
+    assert all(s.listening for s in healthy)
+    during = trace.series.mean_rate(trace.t_inject + 5, trace.t_repair)
+    assert during == pytest.approx(0.75 * trace.normal_tput, rel=0.2)
+
+
+def test_frontend_masks_indep_node_crash():
+    trace, world = run_single_fault(version("FE-X-INDEP"), FaultKind.NODE_CRASH, CFG)
+    tpl = TemplateFitter(CFG.fit).fit(trace)
+    # Mon removes the dead node after 3 pings; stage C is near-normal.
+    assert trace.t_detect is not None
+    assert tpl.stage("C").throughput > 0.9 * trace.normal_tput

@@ -1,0 +1,52 @@
+"""End-to-end quantification pipeline (restricted fault set for speed)."""
+
+import pytest
+
+from repro.core import QuantifyConfig, measure_fault_free, quantify_version
+from repro.experiments.configs import version
+from repro.faults.types import FaultKind
+
+pytestmark = pytest.mark.slow
+
+
+class TestQuantifyPipeline:
+    def test_coop_two_kinds(self):
+        cfg = QuantifyConfig.quick(
+            kinds=(FaultKind.NODE_CRASH, FaultKind.APP_CRASH))
+        va = quantify_version("COOP", cfg)
+        assert set(va.templates) == {FaultKind.NODE_CRASH, FaultKind.APP_CRASH}
+        assert 0.0 < va.unavailability < 0.05
+        assert va.result.contribution(FaultKind.NODE_CRASH) is not None
+        # node crashes are 4x more frequent than app crashes and hurt at
+        # least comparably per fault
+        u = va.result.by_kind()
+        assert u[FaultKind.NODE_CRASH] > u[FaultKind.APP_CRASH]
+
+    def test_accepts_spec_object(self):
+        spec = version("COOP").with_nodes(4)
+        cfg = QuantifyConfig.quick(kinds=(FaultKind.APP_CRASH,))
+        va = quantify_version(spec, cfg)
+        assert va.spec.n_nodes == 4
+
+    def test_fault_free_measurement(self):
+        cfg = QuantifyConfig.quick()
+        ff = measure_fault_free(version("COOP"), cfg)
+        assert ff["availability"] > 0.98
+        assert ff["throughput"] == pytest.approx(ff["offered"], rel=0.05)
+
+    def test_seed_changes_are_bounded(self):
+        """Different seeds shift the numbers but not the conclusion."""
+        kinds = (FaultKind.NODE_CRASH,)
+        u = [quantify_version("COOP", QuantifyConfig.quick(seed=s, kinds=kinds))
+             .unavailability for s in (0, 1)]
+        assert all(x > 0 for x in u)
+        assert max(u) / min(u) < 5.0
+
+    def test_templates_resolved_consistently(self):
+        cfg = QuantifyConfig.quick(kinds=(FaultKind.NODE_FREEZE,))
+        va = quantify_version("COOP", cfg)
+        contribution = va.result.contribution(FaultKind.NODE_FREEZE)
+        resolved = contribution.template
+        # COOP freeze splinters: the operator path must be charged.
+        assert resolved.stage("E").duration == cfg.environment.operator_response
+        assert resolved.stage("C").duration > 0

@@ -1,0 +1,110 @@
+"""Cluster network: links, switch, datagrams, multicast."""
+
+import pytest
+
+from repro.hardware.host import Host
+from repro.net.message import Message
+from repro.net.network import ClusterNetwork
+from repro.sim.store import Store
+
+
+@pytest.fixture
+def net(env):
+    return ClusterNetwork(env)
+
+
+@pytest.fixture
+def hosts(env, net):
+    hs = [Host(env, f"n{i}", i) for i in range(3)]
+    for h in hs:
+        net.attach(h)
+    return hs
+
+
+class TestTopology:
+    def test_attach_idempotent(self, net, hosts):
+        link = net.link(hosts[0])
+        assert net.attach(hosts[0]) is link
+
+    def test_path_up_requires_both_links_and_switch(self, net, hosts):
+        a, b, _ = hosts
+        assert net.path_up(a, b)
+        net.link(a).up = False
+        assert not net.path_up(a, b)
+        net.link(a).up = True
+        net.switch.up = False
+        assert not net.path_up(a, b)
+
+    def test_self_path_always_up(self, net, hosts):
+        net.switch.up = False
+        assert net.path_up(hosts[0], hosts[0])
+
+    def test_reachable_needs_live_os(self, net, hosts):
+        a, b, _ = hosts
+        b.crash()
+        assert net.path_up(a, b)
+        assert not net.reachable(a, b)
+
+    def test_frozen_host_unreachable(self, net, hosts):
+        a, b, _ = hosts
+        b.freeze()
+        assert not net.reachable(a, b)
+
+    def test_transfer_time(self, net):
+        assert net.transfer_time(0) == pytest.approx(net.latency)
+        assert net.transfer_time(125_000_000) == pytest.approx(net.latency + 1.0)
+
+
+class TestDatagram:
+    def test_delivery_after_latency(self, env, net, hosts):
+        a, b, _ = hosts
+        inbox = Store(env)
+        net.datagram(a, b, Message("hb", 0, 1), inbox)
+        assert inbox.level == 0
+        env.run()
+        assert inbox.level == 1
+
+    def test_dropped_when_path_down(self, env, net, hosts):
+        a, b, _ = hosts
+        net.link(b).up = False
+        inbox = Store(env)
+        net.datagram(a, b, Message("hb", 0, 1), inbox)
+        env.run()
+        assert inbox.level == 0
+
+    def test_dropped_if_destination_dies_in_flight(self, env, net, hosts):
+        a, b, _ = hosts
+        inbox = Store(env)
+        net.datagram(a, b, Message("hb", 0, 1), inbox)
+        b.crash()  # before the delivery event fires
+        env.run()
+        assert inbox.level == 0
+
+
+class TestMulticast:
+    def test_reaches_all_subscribers(self, env, net, hosts):
+        boxes = [Store(env) for _ in hosts]
+        for h, box in zip(hosts, boxes):
+            net.join_multicast("grp", h, box)
+        sent = net.multicast("grp", hosts[0], Message("join", 0, None))
+        env.run()
+        assert sent == 3
+        assert [b.level for b in boxes] == [1, 1, 1]
+
+    def test_leave(self, env, net, hosts):
+        boxes = [Store(env) for _ in hosts]
+        for h, box in zip(hosts, boxes):
+            net.join_multicast("grp", h, box)
+        net.leave_multicast("grp", hosts[1], boxes[1])
+        net.multicast("grp", hosts[0], Message("join", 0, None))
+        env.run()
+        assert [b.level for b in boxes] == [1, 0, 1]
+
+    def test_respects_network_faults(self, env, net, hosts):
+        boxes = [Store(env) for _ in hosts]
+        for h, box in zip(hosts, boxes):
+            net.join_multicast("grp", h, box)
+        net.link(hosts[2]).up = False
+        net.multicast("grp", hosts[0], Message("join", 0, None))
+        env.run()
+        assert [b.level for b in boxes] == [1, 1, 0]

@@ -1,0 +1,177 @@
+"""TCP-like connection semantics: flow control, blocking, reset."""
+
+import pytest
+
+from repro.hardware.host import Host
+from repro.net.network import ClusterNetwork
+from repro.net.transport import CLOSED, Connection, ConnectionClosed
+
+
+@pytest.fixture
+def setup(env):
+    net = ClusterNetwork(env)
+    a, b = Host(env, "a", 0), Host(env, "b", 1)
+    net.attach(a)
+    net.attach(b)
+    conn = Connection(env, net, a, b, window=4)
+    return net, a, b, conn
+
+
+class TestDelivery:
+    def test_send_recv_in_order(self, env, setup):
+        net, a, b, conn = setup
+        received = []
+
+        def sender():
+            for i in range(5):
+                yield conn.endpoint(a).send(i)
+
+        def receiver():
+            while len(received) < 5:
+                msg = yield conn.endpoint(b).recv()
+                received.append(msg)
+
+        env.process(sender())
+        env.process(receiver())
+        env.run(until=1)
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_window_backpressure(self, env, setup):
+        net, a, b, conn = setup
+        done = []
+
+        def sender():
+            for i in range(6):
+                yield conn.endpoint(a).send(i)
+                done.append((env.now, i))
+
+        env.process(sender())
+        env.run(until=5)
+        # Window of 4: the 5th message blocks until the reader drains.
+        assert len(done) == 4
+
+        def reader():
+            while True:
+                yield conn.endpoint(b).recv()
+
+        env.process(reader())
+        env.run(until=10)
+        assert len(done) == 6
+
+    def test_send_blocks_while_peer_down(self, env, setup):
+        net, a, b, conn = setup
+        done = []
+
+        def sender():
+            yield conn.endpoint(a).send("x")
+            done.append(env.now)
+
+        b.freeze()
+        env.process(sender())
+        env.run(until=5)
+        assert done == []
+        b.unfreeze()
+        env.run(until=6)
+        assert len(done) == 1
+
+    def test_send_blocks_while_link_down(self, env, setup):
+        net, a, b, conn = setup
+        done = []
+
+        def sender():
+            yield conn.endpoint(a).send("x")
+            done.append(env.now)
+
+        net.link(a).up = False
+        env.process(sender())
+        env.run(until=3)
+        assert done == []
+        net.link(a).up = True
+        env.run(until=4)
+        assert len(done) == 1
+
+
+class TestReset:
+    def test_blocked_sender_aborted(self, env, setup):
+        net, a, b, conn = setup
+        outcome = []
+
+        def sender():
+            b.freeze()
+            try:
+                yield conn.endpoint(a).send("x")
+                outcome.append("sent")
+            except ConnectionClosed:
+                outcome.append("closed")
+
+        env.process(sender())
+        env.run(until=1)
+        conn.reset()
+        env.run(until=2)
+        assert outcome == ["closed"]
+
+    def test_reader_gets_closed_sentinel(self, env, setup):
+        net, a, b, conn = setup
+        got = []
+
+        def reader():
+            msg = yield conn.endpoint(b).recv()
+            got.append(msg)
+
+        env.process(reader())
+        env.run(until=1)
+        conn.reset()
+        env.run(until=2)
+        assert got == [CLOSED]
+
+    def test_buffered_data_discarded_on_reset(self, env, setup):
+        net, a, b, conn = setup
+
+        def sender():
+            yield conn.endpoint(a).send("data")
+
+        env.process(sender())
+        env.run(until=1)
+        conn.reset()
+        got = []
+
+        def reader():
+            msg = yield conn.endpoint(b).recv()
+            got.append(msg)
+
+        env.process(reader())
+        env.run(until=2)
+        assert got == [CLOSED]
+
+    def test_send_after_reset_fails(self, env, setup):
+        net, a, b, conn = setup
+        conn.reset()
+        outcome = []
+
+        def sender():
+            try:
+                yield conn.endpoint(a).send("x")
+            except ConnectionClosed:
+                outcome.append("closed")
+
+        env.process(sender())
+        env.run(until=1)
+        assert outcome == ["closed"]
+
+    def test_reset_idempotent(self, env, setup):
+        _, _, _, conn = setup
+        conn.reset()
+        conn.reset()
+
+    def test_abandoned_send_failure_is_defused(self, env, setup):
+        net, a, b, conn = setup
+        b.freeze()
+        conn.endpoint(a).send("x")  # nobody ever waits on this event
+        env.run(until=1)
+        conn.reset()
+        env.run(until=2)  # must not raise an unhandled ConnectionClosed
+
+    def test_peer_of(self, setup):
+        net, a, b, conn = setup
+        assert conn.peer_of(a) is b
+        assert conn.peer_of(b) is a

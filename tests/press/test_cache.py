@@ -1,0 +1,111 @@
+"""LRU cache and cluster cache directory."""
+
+import pytest
+
+from repro.press.cache import CacheDirectory, LruCache
+
+
+class TestLru:
+    def test_insert_and_hit(self):
+        c = LruCache(2)
+        assert c.insert(1) is None
+        assert c.lookup(1)
+        assert not c.lookup(2)
+
+    def test_eviction_order(self):
+        c = LruCache(2)
+        c.insert(1)
+        c.insert(2)
+        evicted = c.insert(3)
+        assert evicted == 1
+        assert 2 in c and 3 in c
+
+    def test_hit_refreshes_recency(self):
+        c = LruCache(2)
+        c.insert(1)
+        c.insert(2)
+        c.lookup(1)
+        assert c.insert(3) == 2  # 2 became LRU after 1 was touched
+
+    def test_reinsert_refreshes(self):
+        c = LruCache(2)
+        c.insert(1)
+        c.insert(2)
+        assert c.insert(1) is None
+        assert c.insert(3) == 2
+
+    def test_zero_capacity_caches_nothing(self):
+        c = LruCache(0)
+        assert c.insert(1) is None
+        assert not c.lookup(1)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(-1)
+
+    def test_contents_lru_to_mru(self):
+        c = LruCache(3)
+        for fid in (1, 2, 3):
+            c.insert(fid)
+        c.lookup(1)
+        assert c.contents() == [2, 3, 1]
+
+    def test_remove_and_clear(self):
+        c = LruCache(3)
+        c.insert(1)
+        c.remove(1)
+        assert 1 not in c
+        c.insert(2)
+        c.clear()
+        assert len(c) == 0
+
+    def test_never_exceeds_capacity(self):
+        c = LruCache(5)
+        for fid in range(100):
+            c.insert(fid)
+            assert len(c) <= 5
+
+
+class TestDirectory:
+    def test_add_and_holders(self):
+        d = CacheDirectory()
+        d.add(1, 10)
+        d.add(2, 10)
+        assert d.holders(10) == {1, 2}
+        assert d.holders(99) == set()
+
+    def test_remove(self):
+        d = CacheDirectory()
+        d.add(1, 10)
+        d.remove(1, 10)
+        assert d.holders(10) == set()
+        d.remove(1, 999)  # unknown: no-op
+
+    def test_drop_node(self):
+        d = CacheDirectory()
+        d.add(1, 10)
+        d.add(1, 11)
+        d.add(2, 10)
+        d.drop_node(1)
+        assert d.holders(10) == {2}
+        assert d.holders(11) == set()
+        assert d.files_of(1) == set()
+
+    def test_replace_node(self):
+        d = CacheDirectory()
+        d.add(1, 10)
+        d.replace_node(1, [20, 21])
+        assert d.files_of(1) == {20, 21}
+        assert d.holders(10) == set()
+
+    def test_known_nodes(self):
+        d = CacheDirectory()
+        d.add(1, 10)
+        d.add(2, 11)
+        assert d.known_nodes() == {1, 2}
+
+    def test_clear(self):
+        d = CacheDirectory()
+        d.add(1, 10)
+        d.clear()
+        assert d.holders(10) == set()

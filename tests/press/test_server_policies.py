@@ -1,0 +1,145 @@
+"""PRESS dispatch policies: queue monitoring dispositions and warm-up mode."""
+
+import pytest
+
+from repro.net.message import Message
+from repro.press.config import PressConfig
+from repro.press.server import PeerLink, PressServer
+from tests.press.test_press_servers import FAST, build_cluster, submit
+
+QMON = FAST.with_(queue_monitoring=True, qmon_reroute_threshold=4,
+                  qmon_fail_requests=8, qmon_fail_total=12,
+                  qmon_probe_interval=4)
+
+
+def link_to(server, peer_id) -> PeerLink:
+    return server.links[peer_id]
+
+
+def req_msg(server, peer):
+    return Message("fwd_req", server.node_id, peer, {"fid": 1, "reqid": 1, "load": 0},
+                   size=256)
+
+
+def ctl_msg(server, peer):
+    return Message("cache_sync", server.node_id, peer, {"fids": [], "load": 0})
+
+
+class TestQmonDispositions:
+    def test_below_thresholds_sends(self, env):
+        servers, *_ = build_cluster(env, config=QMON)
+        s = servers[0]
+        s._warm_mode = False
+        assert s._dispatch_to_peer(link_to(s, 1), req_msg(s, 1), True) == "sent"
+        assert link_to(s, 1).pending_requests == 1
+
+    def test_reroute_above_first_threshold(self, env):
+        servers, *_ = build_cluster(env, config=QMON)
+        s = servers[0]
+        s._warm_mode = False
+        link = link_to(s, 1)
+        link.pending_requests = QMON.qmon_reroute_threshold
+        dispositions = [s._dispatch_to_peer(link, req_msg(s, 1), True)
+                        for _ in range(QMON.qmon_probe_interval)]
+        # most are rerouted, every Nth probes the overloaded queue
+        assert dispositions.count("reroute") == QMON.qmon_probe_interval - 1
+        assert dispositions.count("sent") == 1
+
+    def test_fail_threshold_excludes_peer(self, env):
+        servers, *_ = build_cluster(env, config=QMON)
+        s = servers[0]
+        s._warm_mode = False
+        link = link_to(s, 1)
+        link.pending_requests = QMON.qmon_fail_requests
+        assert s._dispatch_to_peer(link, req_msg(s, 1), True) == "failed"
+        assert 1 not in s.coop
+
+    def test_total_backlog_threshold(self, env):
+        servers, *_ = build_cluster(env, config=QMON)
+        s = servers[0]
+        s._warm_mode = False
+        link = link_to(s, 1)
+        for _ in range(QMON.qmon_fail_total):
+            link.send_q.force_put("x")
+        assert s._dispatch_to_peer(link, ctl_msg(s, 1), False) == "failed"
+
+    def test_control_messages_not_rerouted_early(self, env):
+        servers, *_ = build_cluster(env, config=QMON)
+        s = servers[0]
+        s._warm_mode = False
+        link = link_to(s, 1)
+        link.pending_requests = QMON.qmon_reroute_threshold  # below fail
+        assert s._dispatch_to_peer(link, ctl_msg(s, 1), False) == "sent"
+
+
+class TestWarmMode:
+    def test_starts_warm_and_exits_when_quiet(self, env):
+        servers, *_ = build_cluster(env)
+        s = servers[0]
+        assert s._warm_mode
+        env.run(until=FAST.startup_grace + 10.0)
+        assert not s._warm_mode
+
+    def test_warm_mode_sheds_instead_of_blocking(self, env):
+        servers, *_ = build_cluster(env)
+        s = servers[0]
+        link = link_to(s, 1)
+        for _ in range(FAST.send_queue_capacity):
+            link.send_q.force_put("x")
+        assert s._dispatch_to_peer(link, req_msg(s, 1), True) == "reroute"
+
+    def test_after_warm_mode_blocking_returns(self, env):
+        servers, *_ = build_cluster(env)
+        s = servers[0]
+        env.run(until=FAST.startup_grace + 10.0)
+        link = link_to(s, 1)
+        assert s._dispatch_to_peer(link, req_msg(s, 1), True) == "blockingly"
+
+    def test_exclusion_reenters_warm_mode(self, env):
+        servers, *_ = build_cluster(env)
+        s = servers[0]
+        env.run(until=FAST.startup_grace + 10.0)
+        assert not s._warm_mode
+        s._exclude(1, "test", announce=False)
+        assert s._warm_mode
+
+    def test_heartbeat_exclusions_suppressed_while_warm(self, env):
+        servers, *_ = build_cluster(env)
+        s = servers[0]
+        s._hb_seen[s._ring_neighbor(-1)] = -100.0  # ancient
+        s._heartbeat_duty(env.now)
+        assert len(s.coop) == 3  # nobody excluded during warm-up
+
+
+class TestOneCopyDiscipline:
+    def test_local_fetch_of_held_file_not_cached(self, env):
+        servers, *_ = build_cluster(env)
+        env.run(until=2.0)
+        s0, s1 = servers[0], servers[1]
+        # n1 caches fid 7 and everyone knows.
+        submit(env, s1, 7)
+        env.run(until=3.0)
+        assert s0.directory.holders(7) == {1}
+        # Force a local fetch on n0 for the same file (no remote waiter).
+        from repro.press.server import DiskFetch
+
+        def force_local():
+            yield from s0._to_disk(DiskFetch(7, request=None, origin=None))
+
+        env.process(force_local(), owner=s0.group)
+        env.run(until=4.0)
+        assert 7 not in s0.cache  # served, not duplicated
+
+    def test_designated_holder_always_caches(self, env):
+        servers, *_ = build_cluster(env)
+        env.run(until=2.0)
+        s0 = servers[0]
+        s0.directory.add(2, 9)  # stale: n2 supposedly holds fid 9
+        from repro.press.server import DiskFetch
+
+        def forwarded():
+            yield from s0._to_disk(DiskFetch(9, origin=1, reqid=77))
+
+        env.process(forwarded(), owner=s0.group)
+        env.run(until=3.0)
+        assert 9 in s0.cache  # peers chose us: we must cache

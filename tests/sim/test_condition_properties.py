@@ -1,0 +1,65 @@
+"""Property tests for composite conditions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.conditions import AllOf, AnyOf
+from repro.sim.kernel import Environment
+
+delays = st.lists(st.floats(min_value=0.01, max_value=100.0),
+                  min_size=1, max_size=12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays=delays)
+def test_anyof_fires_at_the_minimum(delays):
+    env = Environment()
+    events = [env.timeout(d) for d in delays]
+    cond = AnyOf(env, events)
+    fired_at = []
+    cond.add_callback(lambda e: fired_at.append(env.now))
+    env.run()
+    assert fired_at == [min(delays)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays=delays)
+def test_allof_fires_at_the_maximum(delays):
+    env = Environment()
+    events = [env.timeout(d) for d in delays]
+    cond = AllOf(env, events)
+    fired_at = []
+    cond.add_callback(lambda e: fired_at.append(env.now))
+    env.run()
+    assert fired_at == [max(delays)]
+    assert len(cond.value) == len(delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(delays=delays, cut=st.integers(min_value=0, max_value=11))
+def test_anyof_value_contains_only_fired_events(delays, cut):
+    env = Environment()
+    events = [env.timeout(d) for d in delays]
+    cond = AnyOf(env, events)
+    env.run(until=min(delays))
+    assert cond.triggered
+    fastest = min(delays)
+    for ev, value in cond.value.items():
+        assert ev.delay == fastest
+
+
+@settings(max_examples=40, deadline=None)
+@given(delays=delays)
+def test_nested_conditions(delays):
+    env = Environment()
+    half = max(len(delays) // 2, 1)
+    inner_a = AllOf(env, [env.timeout(d) for d in delays[:half]])
+    inner_b = AllOf(env, [env.timeout(d) for d in delays[half:]] or
+                    [env.timeout(0.01)])
+    outer = AnyOf(env, [inner_a, inner_b])
+    fired = []
+    outer.add_callback(lambda e: fired.append(env.now))
+    env.run()
+    expect = min(max(delays[:half]),
+                 max(delays[half:]) if delays[half:] else 0.01)
+    assert fired == [expect]

@@ -1,0 +1,109 @@
+"""AnyOf / AllOf composite events."""
+
+import pytest
+
+from repro.sim.conditions import AllOf, AnyOf
+from repro.sim.kernel import Environment
+from repro.sim.store import Store
+
+
+class TestAnyOf:
+    def test_first_event_wins(self, env):
+        results = []
+
+        def body():
+            fast = env.timeout(1.0, value="fast")
+            slow = env.timeout(5.0, value="slow")
+            cond = yield AnyOf(env, [fast, slow])
+            results.append((env.now, dict(cond)))
+
+        env.process(body())
+        env.run()
+        assert results[0][0] == 1.0
+        assert list(results[0][1].values()) == ["fast"]
+
+    def test_first_property(self, env):
+        fast = env.timeout(1.0, value="f")
+        slow = env.timeout(2.0)
+        cond = AnyOf(env, [fast, slow])
+        env.run()
+        assert cond.first is fast
+
+    def test_get_with_timeout_pattern(self, env):
+        store = Store(env)
+        outcome = []
+
+        def body():
+            get_ev = store.get()
+            deadline = env.timeout(2.0)
+            yield AnyOf(env, [get_ev, deadline])
+            if get_ev.triggered:
+                outcome.append(("got", get_ev.value))
+            else:
+                get_ev.cancel()
+                outcome.append(("timeout", env.now))
+
+        env.process(body())
+        env.run()
+        assert outcome == [("timeout", 2.0)]
+
+    def test_empty_condition_fires_immediately(self, env):
+        cond = AnyOf(env, [])
+        assert cond.triggered
+
+    def test_already_processed_subevent(self, env):
+        ev = env.timeout(1.0, value="v")
+        env.run()
+        cond = AnyOf(env, [ev])
+        assert cond.triggered
+
+    def test_failure_propagates(self, env):
+        class Boom(Exception):
+            pass
+
+        caught = []
+
+        def body():
+            bad = env.event()
+            bad.fail(Boom(), delay=1.0)
+            try:
+                yield AnyOf(env, [bad, env.timeout(5.0)])
+            except Boom:
+                caught.append(env.now)
+
+        env.process(body())
+        env.run()
+        assert caught == [1.0]
+
+    def test_cross_environment_rejected(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            AnyOf(env, [env.timeout(1), other.timeout(1)])
+
+
+class TestAllOf:
+    def test_waits_for_all(self, env):
+        times = []
+
+        def body():
+            cond = yield AllOf(env, [env.timeout(1.0, "a"), env.timeout(3.0, "b")])
+            times.append((env.now, sorted(cond.values())))
+
+        env.process(body())
+        env.run()
+        assert times == [(3.0, ["a", "b"])]
+
+    def test_values_collected(self, env):
+        evs = [env.timeout(i, value=i) for i in (1, 2, 3)]
+        cond = AllOf(env, evs)
+        env.run()
+        assert sorted(cond.value.values()) == [1, 2, 3]
+
+    def test_late_failure_after_trigger_is_defused(self, env):
+        ok = env.timeout(1.0)
+        cond = AnyOf(env, [ok, env.event()])
+        bad = cond.events[1]
+        env.run()
+        assert cond.triggered
+        bad.fail(RuntimeError("late"))
+        env.run()  # must not raise: condition consumed it

@@ -1,0 +1,149 @@
+"""Kernel scheduling semantics."""
+
+import pytest
+
+from repro.sim.kernel import NORMAL, URGENT, Environment, Event, SimulationError, Timeout
+
+
+class TestEvent:
+    def test_starts_untriggered(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+        assert ev.ok is None
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_succeed_then_value(self, env):
+        ev = env.event().succeed(42)
+        assert ev.triggered and ev.ok
+        assert ev.value == 42
+
+    def test_double_trigger_rejected(self, env):
+        ev = env.event().succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_callback_after_processing_runs_immediately(self, env):
+        ev = env.event().succeed("v")
+        env.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["v"]
+
+    def test_unhandled_failure_raises_at_step(self, env):
+        class Boom(Exception):
+            pass
+
+        env.event().fail(Boom())
+        with pytest.raises(Boom):
+            env.run()
+
+    def test_defused_failure_is_silent(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("handled"))
+        ev._defused = True
+        env.run()  # must not raise
+
+
+class TestClock:
+    def test_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_timeout_advances_clock(self, env):
+        env.timeout(3.5)
+        env.run()
+        assert env.now == 3.5
+
+    def test_run_until_advances_even_without_events(self, env):
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_past_raises(self, env):
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=4.0)
+
+    def test_negative_timeout_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_events_beyond_until_stay_queued(self, env):
+        seen = []
+        t = env.timeout(10.0)
+        t.add_callback(lambda e: seen.append(env.now))
+        env.run(until=5.0)
+        assert seen == []
+        env.run(until=15.0)
+        assert seen == [10.0]
+
+
+class TestOrdering:
+    def test_fifo_at_same_time(self, env):
+        order = []
+        for i in range(5):
+            env.timeout(1.0).add_callback(lambda e, i=i: order.append(i))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_urgent_precedes_normal(self, env):
+        order = []
+        normal = env.event()
+        normal.add_callback(lambda e: order.append("normal"))
+        normal.succeed(priority=NORMAL)
+        urgent = env.event()
+        urgent.add_callback(lambda e: order.append("urgent"))
+        urgent.succeed(priority=URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_time_order_dominates_priority(self, env):
+        order = []
+        late = env.event()
+        late.add_callback(lambda e: order.append("late"))
+        late.succeed(delay=2.0, priority=URGENT)
+        early = env.event()
+        early.add_callback(lambda e: order.append("early"))
+        early.succeed(delay=1.0, priority=NORMAL)
+        env.run()
+        assert order == ["early", "late"]
+
+    def test_deterministic_across_runs(self):
+        def trace():
+            env = Environment()
+            log = []
+
+            def proc(name, delay):
+                while env.now < 5:
+                    yield env.timeout(delay)
+                    log.append((env.now, name))
+
+            env.process(proc("a", 0.5))
+            env.process(proc("b", 0.5))
+            env.process(proc("c", 0.7))
+            env.run(until=5)
+            return log
+
+        assert trace() == trace()
+
+    def test_peek(self, env):
+        assert env.peek() == float("inf")
+        env.timeout(2.0)
+        assert env.peek() == 2.0
+
+    def test_step_empty_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_double_schedule_rejected(self, env):
+        ev = env.event().succeed()
+        with pytest.raises(SimulationError):
+            env.schedule(ev)

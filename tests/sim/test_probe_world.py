@@ -1,0 +1,21 @@
+"""World-level probe attachment."""
+
+import pytest
+
+from repro.experiments.configs import version
+from repro.experiments.profiles import SMALL
+from repro.experiments.runner import build_world
+from repro.sim.probes import probe_world_queues
+
+pytestmark = pytest.mark.slow
+
+
+def test_probe_world_queues_covers_every_server_queue():
+    world = build_world(version("COOP"), SMALL)
+    probes = probe_world_queues(world, period=2.0)
+    # PRESS exposes main_q and disk_q per server
+    assert len(probes) == 2 * len(world.servers)
+    world.env.run(until=30.0)
+    assert all(len(p.values) > 10 for p in probes)
+    # fault-free warm-up: queues exist but nothing is pinned at capacity
+    assert max(p.mean(t0=20.0) for p in probes) < 64

@@ -1,0 +1,82 @@
+"""Instrumentation probes."""
+
+import pytest
+
+from repro.hardware.disk import Disk, DiskParams
+from repro.hardware.host import Host
+from repro.sim.probes import DiskUtilizationProbe, GaugeProbe, QueueDepthProbe
+from repro.sim.store import Store
+
+
+class TestGaugeProbe:
+    def test_samples_on_period(self, env):
+        values = iter(range(100))
+        probe = GaugeProbe(env, lambda: next(values), period=2.0)
+        env.run(until=9.0)
+        assert list(probe.times) == [0.0, 2.0, 4.0, 6.0, 8.0]
+        assert list(probe.values) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_stats(self, env):
+        data = iter([0.0, 10.0, 20.0, 10.0])
+        probe = GaugeProbe(env, lambda: next(data), period=1.0)
+        env.run(until=3.5)
+        assert probe.max() == 20.0
+        assert probe.mean() == 10.0
+        assert probe.mean(t0=1.0, t1=3.0) == 15.0
+        assert probe.time_above(9.0) == pytest.approx(3.0)
+
+    def test_stop(self, env):
+        probe = GaugeProbe(env, lambda: 1.0, period=1.0)
+        env.run(until=2.5)
+        probe.stop()
+        env.run(until=10.0)
+        assert len(probe.values) == 3
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            GaugeProbe(env, lambda: 0.0, period=0.0)
+
+    def test_empty_stats(self, env):
+        probe = GaugeProbe(env, lambda: 1.0, period=1.0)
+        # no env.run: nothing sampled yet... the bootstrap samples at t=0
+        # only once run; check empty accessors beforehand
+        assert probe.mean() == 0.0 or probe.mean() == 1.0
+
+
+class TestQueueDepthProbe:
+    def test_tracks_backlog(self, env):
+        store = Store(env, capacity=10)
+        probe = QueueDepthProbe(env, store, period=1.0)
+
+        def producer():
+            for i in range(5):
+                yield env.timeout(1.0)
+                store.put_nowait(i)
+
+        env.process(producer())
+        env.run(until=5.5)
+        assert probe.values.max() >= 4
+
+
+class TestDiskUtilizationProbe:
+    def test_busy_disk_near_one(self, env):
+        host = Host(env, "n0", 0)
+        disk = Disk(env, host, 0, DiskParams(seek_time=0.05, jitter=0.0))
+        probe = DiskUtilizationProbe(env, disk, period=1.0)
+
+        def hammer():
+            while True:
+                sub = disk.submit(27_000)
+                yield sub.enqueued
+                yield sub.done
+
+        env.process(hammer(), owner=host.os)
+        env.run(until=10.0)
+        assert probe.mean(t0=2.0) > 0.7
+
+    def test_idle_disk_zero(self, env):
+        host = Host(env, "n0", 0)
+        disk = Disk(env, host, 0, DiskParams())
+        probe = DiskUtilizationProbe(env, disk, period=1.0)
+        env.run(until=5.0)
+        assert probe.mean() == 0.0

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the kernel and stores."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Environment
+from repro.sim.series import ThroughputSeries
+from repro.sim.store import Store
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
+def test_clock_monotone_and_events_fire_at_their_time(delays):
+    env = Environment()
+    fired = []
+    for d in delays:
+        env.timeout(d).add_callback(lambda e, d=d: fired.append((env.now, d)))
+    env.run()
+    assert len(fired) == len(delays)
+    times = [t for t, _ in fired]
+    assert times == sorted(times)  # processing order is time order
+    for t, d in fired:
+        assert t == d
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    items=st.lists(st.integers(), min_size=1, max_size=50),
+)
+def test_store_conserves_items_and_preserves_order(capacity, items):
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    got = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            got.append(value)
+            yield env.timeout(0.001)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == items
+    assert store.level == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    n_items=st.integers(min_value=1, max_value=30),
+)
+def test_store_level_never_exceeds_capacity(capacity, n_items):
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    violations = []
+
+    def producer():
+        for i in range(n_items):
+            yield store.put(i)
+            if store.level > capacity:
+                violations.append(store.level)
+
+    def consumer():
+        for _ in range(n_items):
+            yield store.get()
+            yield env.timeout(0.01)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert not violations
+
+
+@settings(max_examples=60, deadline=None)
+@given(times=st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=0, max_size=200))
+def test_series_counts_partition_the_timeline(times):
+    series = ThroughputSeries()
+    for t in sorted(times):
+        series.record(t)
+    mid = 5e3
+    assert series.count(0.0, mid) + series.count(mid, 1e4 + 1.0) == len(times)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.integers(min_value=1, max_value=20),
+)
+def test_simulation_determinism(seed, n):
+    """Same program, same seed => identical event trace."""
+    import numpy as np
+
+    def run():
+        env = Environment()
+        rng = np.random.default_rng(seed)
+        log = []
+        store = Store(env, capacity=3)
+
+        def producer():
+            for i in range(n):
+                yield env.timeout(float(rng.exponential(1.0)))
+                yield store.put(i)
+                log.append(("p", round(env.now, 9), i))
+
+        def consumer():
+            for _ in range(n):
+                item = yield store.get()
+                yield env.timeout(0.5)
+                log.append(("c", round(env.now, 9), item))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        return log
+
+    assert run() == run()

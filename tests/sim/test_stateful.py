@@ -1,0 +1,157 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine)."""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.press.cache import CacheDirectory, LruCache
+from repro.sim.kernel import Environment
+from repro.sim.store import Store, StoreFullError
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """A Store must behave exactly like a bounded deque under the
+    non-blocking operations."""
+
+    def __init__(self):
+        super().__init__()
+        self.env = Environment()
+        self.capacity = 5
+        self.store = Store(self.env, capacity=self.capacity)
+        self.model = deque()
+        self.counter = 0
+
+    @rule()
+    def put(self):
+        self.counter += 1
+        if len(self.model) < self.capacity:
+            self.store.put_nowait(self.counter)
+            self.model.append(self.counter)
+        else:
+            try:
+                self.store.put_nowait(self.counter)
+                raise AssertionError("accepted beyond capacity")
+            except StoreFullError:
+                pass
+
+    @rule()
+    def try_put(self):
+        self.counter += 1
+        accepted = self.store.try_put(self.counter)
+        assert accepted == (len(self.model) < self.capacity)
+        if accepted:
+            self.model.append(self.counter)
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def get(self):
+        assert self.store.get_nowait() == self.model.popleft()
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def peek(self):
+        assert self.store.peek() == self.model[0]
+
+    @rule()
+    def clear(self):
+        dropped = self.store.clear()
+        assert dropped == list(self.model)
+        self.model.clear()
+
+    @invariant()
+    def level_matches(self):
+        assert self.store.level == len(self.model)
+        assert self.store.full == (len(self.model) >= self.capacity)
+
+
+class CacheDirectoryMachine(RuleBasedStateMachine):
+    """Directory forward and inverse indices must stay consistent."""
+
+    nodes = st.integers(min_value=0, max_value=4)
+    fids = st.integers(min_value=0, max_value=15)
+
+    def __init__(self):
+        super().__init__()
+        self.directory = CacheDirectory()
+        self.model = set()  # {(node, fid)}
+
+    @rule(node=nodes, fid=fids)
+    def add(self, node, fid):
+        self.directory.add(node, fid)
+        self.model.add((node, fid))
+
+    @rule(node=nodes, fid=fids)
+    def remove(self, node, fid):
+        self.directory.remove(node, fid)
+        self.model.discard((node, fid))
+
+    @rule(node=nodes)
+    def drop_node(self, node):
+        self.directory.drop_node(node)
+        self.model = {(n, f) for n, f in self.model if n != node}
+
+    @rule(node=nodes, fid=fids)
+    def replace_node(self, node, fid):
+        self.directory.replace_node(node, [fid])
+        self.model = {(n, f) for n, f in self.model if n != node}
+        self.model.add((node, fid))
+
+    @invariant()
+    def indices_consistent(self):
+        for fid in range(16):
+            expected = {n for n, f in self.model if f == fid}
+            assert self.directory.holders(fid) == expected
+        for node in range(5):
+            expected = {f for n, f in self.model if n == node}
+            assert self.directory.files_of(node) == expected
+
+
+class LruMachine(RuleBasedStateMachine):
+    """LRU cache vs an ordered-list model."""
+
+    fids = st.integers(min_value=0, max_value=20)
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = 4
+        self.cache = LruCache(self.capacity)
+        self.model = []  # LRU .. MRU
+
+    def _touch(self, fid):
+        if fid in self.model:
+            self.model.remove(fid)
+        self.model.append(fid)
+        if len(self.model) > self.capacity:
+            return self.model.pop(0)
+        return None
+
+    @rule(fid=fids)
+    def access(self, fid):
+        hit = self.cache.lookup(fid)
+        assert hit == (fid in self.model)
+        if hit:
+            self._touch(fid)
+        else:
+            evicted = self.cache.insert(fid)
+            assert evicted == self._touch(fid)
+
+    @rule(fid=fids)
+    def remove(self, fid):
+        self.cache.remove(fid)
+        if fid in self.model:
+            self.model.remove(fid)
+
+    @invariant()
+    def contents_match(self):
+        assert self.cache.contents() == self.model
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestCacheDirectoryMachine = CacheDirectoryMachine.TestCase
+TestLruMachine = LruMachine.TestCase
+
+for case in (TestStoreMachine, TestCacheDirectoryMachine, TestLruMachine):
+    case.settings = settings(max_examples=40, stateful_step_count=30,
+                             deadline=None)

@@ -1,0 +1,65 @@
+"""Public API surface: everything a downstream user imports must exist."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.hardware",
+    "repro.net",
+    "repro.faults",
+    "repro.workload",
+    "repro.press",
+    "repro.ha",
+    "repro.core",
+    "repro.experiments",
+    "repro.bookstore",
+    "repro.auction",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES[1:-1])
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{name} should declare __all__"
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_headline_symbols():
+    from repro.core import (
+        AvailabilityModel,
+        QuantifyConfig,
+        SevenStageTemplate,
+        TemplateFitter,
+        quantify_version,
+    )
+    from repro.experiments import SMALL, VERSIONS, build_world, version
+    from repro.faults import FaultKind, table1_catalog
+    from repro.ha import PRESS_FAULT_MODEL, FaultModel
+    from repro.press import PressServer, bootstrap_cluster
+
+    assert len(VERSIONS) == 13
+    assert callable(quantify_version)
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__
+
+
+def test_cli_entrypoint_exists():
+    from repro.cli import main
+
+    assert callable(main)

@@ -1,0 +1,103 @@
+"""File-backed trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.workload.trace import TraceConfig
+from repro.workload.tracefile import TraceFile, normalize_sizes, synthesize_trace_file
+
+
+class TestTraceFile:
+    def test_round_trip(self, tmp_path):
+        trace = TraceFile([0, 1, 2, 1], [100, 200, 300, 200])
+        path = tmp_path / "t.log"
+        trace.save(path)
+        loaded = TraceFile.load(path)
+        assert len(loaded) == 4
+        assert [loaded.sample_file() for _ in range(4)] == [0, 1, 2, 1]
+        assert loaded.file_size(2) == 300
+
+    def test_replay_wraps(self):
+        trace = TraceFile([5, 6], [1, 1])
+        assert [trace.sample_file() for _ in range(5)] == [5, 6, 5, 6, 5]
+
+    def test_reset(self):
+        trace = TraceFile([1, 2, 3], [1, 1, 1])
+        trace.sample_file()
+        trace.reset()
+        assert trace.sample_file() == 1
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "t.log"
+        path.write_text("# header\n\n3 100  # inline\n4 200\n")
+        loaded = TraceFile.load(path)
+        assert len(loaded) == 2
+        assert loaded.file_size(3) == 100
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "t.log"
+        path.write_text("3 100 extra\n")
+        with pytest.raises(ValueError):
+            TraceFile.load(path)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceFile([], [])
+        with pytest.raises(ValueError):
+            TraceFile([1], [1, 2])
+        with pytest.raises(ValueError):
+            TraceFile([-1], [1])
+
+    def test_hit_fraction(self):
+        trace = TraceFile([0, 0, 0, 1], [1, 1, 1, 1])
+        assert trace.hit_fraction(1) == pytest.approx(0.75)
+        assert trace.hit_fraction(2) == pytest.approx(1.0)
+        assert trace.hit_fraction(0) == 0.0
+
+    def test_out_of_range_size_lookup(self):
+        trace = TraceFile([0], [1])
+        with pytest.raises(IndexError):
+            trace.file_size(5)
+
+
+class TestNormalizeSizes:
+    def test_all_sizes_equalized(self):
+        trace = TraceFile([0, 1], [100, 900])
+        norm = normalize_sizes(trace, size=27_000)
+        assert norm.file_size(0) == norm.file_size(1) == 27_000
+        assert len(norm) == 2
+
+
+class TestSynthesize:
+    def test_writes_zipf_log(self, tmp_path):
+        path = tmp_path / "synth.log"
+        trace = synthesize_trace_file(path, n_requests=5000,
+                                      config=TraceConfig(n_files=50), seed=1)
+        assert path.exists()
+        assert len(trace) == 5000
+        # Zipf: the hottest file clearly dominates a mid-rank one.
+        counts = np.bincount([trace.sample_file() for _ in range(5000)],
+                             minlength=50)
+        assert counts[0] > counts[25]
+
+    def test_deterministic_by_seed(self, tmp_path):
+        a = synthesize_trace_file(tmp_path / "a.log", 100, seed=7)
+        b = synthesize_trace_file(tmp_path / "b.log", 100, seed=7)
+        assert [a.sample_file() for _ in range(100)] == \
+               [b.sample_file() for _ in range(100)]
+
+    def test_usable_by_client_pool(self, env, tmp_path, rngs):
+        """A TraceFile drops into ClientPool in place of SyntheticTrace."""
+        from repro.workload.client import ClientConfig, ClientPool, DnsRouter
+        from repro.workload.stats import RequestStats
+        from tests.workload.test_workload import EchoBackend
+        from repro.hardware.host import Host
+
+        trace = synthesize_trace_file(tmp_path / "t.log", 1000,
+                                      TraceConfig(n_files=20), seed=3)
+        backend = EchoBackend(Host(env, "n0", 0))
+        stats = RequestStats()
+        ClientPool(env, trace, DnsRouter([backend]), stats,
+                   ClientConfig(request_rate=100.0), rngs.stream("c")).start()
+        env.run(until=5.0)
+        assert stats.succeeded > 300
