@@ -8,6 +8,8 @@ regressions in the simulator are caught alongside the reproduction.
 from repro.experiments.configs import version
 from repro.experiments.profiles import SMALL
 from repro.experiments.runner import build_world
+from repro.obs.kernelprof import KernelProfiler
+from repro.obs.telemetry import Telemetry
 from repro.sim.kernel import Environment
 from repro.sim.store import Store
 
@@ -54,11 +56,49 @@ def test_store_handoff(benchmark):
     assert benchmark(run) == 9_999
 
 
+def test_kernel_profiled_churn(benchmark):
+    """The same timeout ping-pong with a kernel monitor attached.
+
+    Tracks the cost of the opt-in profiling hooks relative to
+    ``test_kernel_timeout_churn`` (the monitor-free fast path).
+    """
+
+    def run():
+        env = Environment(monitor=KernelProfiler())
+
+        def ticker():
+            for _ in range(20_000):
+                yield env.timeout(0.001)
+
+        env.process(ticker())
+        env.run()
+        return env.monitor.events_processed
+
+    assert benchmark(run) > 20_000
+
+
 def test_coop_cluster_simulation_rate(benchmark):
     """Wall-clock cost of simulating 30 s of a loaded 4-node COOP cluster."""
 
     def run():
         world = build_world(version("COOP"), SMALL)
+        world.env.run(until=30.0)
+        return world.stats.issued
+
+    issued = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert issued > 1000
+
+
+def test_coop_cluster_rate_telemetry_off(benchmark):
+    """The same cluster with telemetry fully disabled (null instruments).
+
+    Compared against ``test_coop_cluster_simulation_rate`` this bounds
+    the end-to-end cost of the always-on counters and trace events.
+    """
+
+    def run():
+        world = build_world(version("COOP"), SMALL,
+                            telemetry=Telemetry.disabled())
         world.env.run(until=30.0)
         return world.stats.issued
 

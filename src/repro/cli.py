@@ -8,29 +8,67 @@ Commands
     Run the full two-phase methodology for one or more versions.
 ``inject VERSION FAULT``
     One single-fault experiment with a throughput timeline.
+``trace VERSION FAULT``
+    One single-fault experiment, emitting the structured telemetry trace
+    (JSONL by default, ``--format csv`` for spreadsheets).
+``metrics VERSION``
+    Fault-free run; dump the metrics registry snapshot.
+``profile VERSION``
+    Fault-free run with kernel profiling; report the event-loop hot spots.
 ``figure NAME``
     Regenerate one of the paper's figures/tables (fig1a..fig10, table1/2).
 ``validate VERSION``
     Empirical model validation under a random fault load.
+
+Version names are case-insensitive and accept aliases (``pressha`` is
+the paper's fully-hardened FME configuration).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.core.quantify import QuantifyConfig, quantify_version, run_single_fault
-from repro.core.report import format_bar, format_comparison, format_model_result
+from repro.core.report import (
+    format_bar,
+    format_comparison,
+    format_model_result,
+    model_result_to_dict,
+)
 from repro.experiments.configs import VERSIONS, version
 from repro.faults.types import FaultKind
+from repro.obs.export import (
+    event_to_dict,
+    format_metrics,
+    write_csv,
+    write_jsonl,
+    write_metrics_json,
+)
+from repro.obs.telemetry import Telemetry
 
 
 def _config(args) -> QuantifyConfig:
     return QuantifyConfig.quick() if args.quick else QuantifyConfig.from_env()
 
 
-def cmd_versions(_args) -> int:
+def _version(name: str):
+    """Alias-aware version lookup with a CLI-friendly error."""
+    try:
+        return version(name)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+
+
+def cmd_versions(args) -> int:
+    if args.json:
+        from dataclasses import asdict
+
+        print(json.dumps({name: asdict(spec) for name, spec in VERSIONS.items()},
+                         indent=2, sort_keys=True))
+        return 0
     print(f"{'name':<12} composition")
     for name, spec in VERSIONS.items():
         parts = []
@@ -57,20 +95,49 @@ def cmd_quantify(args) -> int:
     results = []
     for name in args.versions:
         print(f"quantifying {name}...", file=sys.stderr)
-        va = quantify_version(name, config)
+        va = quantify_version(_version(name), config)
         results.append(va.result)
-        print(format_model_result(va.result))
-        print()
-    if len(results) > 1:
+        if not args.json:
+            print(format_model_result(va.result))
+            print()
+    if args.json:
+        print(json.dumps([model_result_to_dict(r) for r in results],
+                         indent=2, sort_keys=True))
+    elif len(results) > 1:
         print(format_comparison(results, "comparison"))
     return 0
+
+
+def _timeline_dict(trace) -> dict:
+    return {
+        "t_inject": trace.t_inject,
+        "t_detect": trace.t_detect,
+        "t_repair": trace.t_repair,
+        "t_reset": trace.t_reset,
+        "t_end": trace.t_end,
+        "normal_tput": trace.normal_tput,
+    }
 
 
 def cmd_inject(args) -> int:
     config = _config(args)
     kind = FaultKind(args.fault)
-    trace, world = run_single_fault(version(args.version), kind, config,
-                                    target=args.target)
+    telemetry = Telemetry()
+    trace, world = run_single_fault(_version(args.version), kind, config,
+                                    target=args.target, telemetry=telemetry)
+    if args.json:
+        start = max(trace.t_inject - 20.0, 0.0)
+        times, rates = trace.series.bucketize(5.0, start, trace.t_end)
+        print(json.dumps({
+            "version": trace.version,
+            "fault": kind.value,
+            "target": args.target or world.default_target(kind),
+            "timeline": _timeline_dict(trace),
+            "throughput": {"times": [float(t) for t in times],
+                           "rates": [float(r) for r in rates]},
+            "events": [event_to_dict(e) for e in telemetry.tracer.events],
+        }, sort_keys=True))
+        return 0
     start = max(trace.t_inject - 20.0, 0.0)
     times, rates = trace.series.bucketize(5.0, start, trace.t_end)
     peak = max(float(rates.max()), 1.0)
@@ -83,6 +150,67 @@ def cmd_inject(args) -> int:
         print(f"{t:7.0f} {r:7.1f} {format_bar(r, peak)} {' '.join(marks)}")
     print(f"\ncooperation sets: "
           f"{[sorted(getattr(s, 'coop', [])) for s in world.servers]}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    config = _config(args)
+    kind = FaultKind(args.fault)
+    telemetry = Telemetry()
+    trace, _world = run_single_fault(_version(args.version), kind, config,
+                                     target=args.target, telemetry=telemetry)
+    events = telemetry.tracer.events
+    writer = write_csv if args.format == "csv" else write_jsonl
+    if args.out:
+        n = writer(events, args.out)
+    else:
+        n = writer(events, sys.stdout)
+    kinds = {}
+    for e in events:
+        kinds[e.kind] = kinds.get(e.kind, 0) + 1
+    print(f"{n} events ({', '.join(f'{k}:{v}' for k, v in sorted(kinds.items()))})",
+          file=sys.stderr)
+    print(f"inject={trace.t_inject:.1f} detect={trace.t_detect} "
+          f"repair={trace.t_repair:.1f} end={trace.t_end:.1f}", file=sys.stderr)
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.experiments.runner import build_world
+
+    config = _config(args)
+    telemetry = Telemetry()
+    world = build_world(_version(args.version), config.profile,
+                        seed=config.seed, telemetry=telemetry)
+    until = args.until
+    if until is None:
+        until = config.campaign.warmup + config.campaign.normal_window
+    world.env.run(until=until)
+    snapshot = telemetry.metrics.snapshot()
+    if args.json:
+        write_metrics_json(snapshot, sys.stdout)
+    else:
+        print(format_metrics(snapshot))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.experiments.runner import build_world
+
+    config = _config(args)
+    telemetry = Telemetry(profile_kernel=True)
+    world = build_world(_version(args.version), config.profile,
+                        seed=config.seed, telemetry=telemetry)
+    until = args.until
+    if until is None:
+        until = config.campaign.warmup + config.campaign.normal_window
+    world.env.run(until=until)
+    profiler = telemetry.profiler
+    assert profiler is not None
+    if args.json:
+        print(json.dumps(profiler.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(profiler.report(top_n=args.top))
     return 0
 
 
@@ -106,7 +234,7 @@ def cmd_sensitivity(args) -> int:
     from repro.experiments.runner import build_world
 
     config = _config(args)
-    va = quantify_version(args.version, config)
+    va = quantify_version(_version(args.version), config)
     world = build_world(va.spec, config.profile, seed=config.seed)
     analysis = SensitivityAnalysis(
         va.templates, world.catalog, config.environment,
@@ -137,6 +265,16 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def _add_common(p: argparse.ArgumentParser, json_flag: bool = False) -> None:
+    # --quick is also accepted after the subcommand; SUPPRESS keeps the
+    # subparser from clobbering a top-level `--quick` with a False default.
+    p.add_argument("--quick", action="store_true", default=argparse.SUPPRESS,
+                   help="shorter experiment windows")
+    if json_flag:
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable JSON output")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -146,33 +284,70 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shorter experiment windows")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("versions", help="list system versions").set_defaults(fn=cmd_versions)
+    p = sub.add_parser("versions", help="list system versions")
+    _add_common(p, json_flag=True)
+    p.set_defaults(fn=cmd_versions)
 
     p = sub.add_parser("quantify", help="run the methodology for versions")
-    p.add_argument("versions", nargs="+", choices=sorted(VERSIONS))
+    p.add_argument("versions", nargs="+", metavar="VERSION")
+    _add_common(p, json_flag=True)
     p.set_defaults(fn=cmd_quantify)
 
     p = sub.add_parser("inject", help="one single-fault experiment")
-    p.add_argument("version", choices=sorted(VERSIONS))
+    p.add_argument("version")
     p.add_argument("fault", choices=[k.value for k in FaultKind])
     p.add_argument("--target", default=None)
+    _add_common(p, json_flag=True)
     p.set_defaults(fn=cmd_inject)
+
+    p = sub.add_parser("trace",
+                       help="one single-fault experiment; emit the "
+                            "structured telemetry trace")
+    p.add_argument("version")
+    p.add_argument("fault", choices=[k.value for k in FaultKind])
+    p.add_argument("--target", default=None)
+    p.add_argument("--format", choices=("jsonl", "csv"), default="jsonl")
+    p.add_argument("--out", default=None,
+                   help="write events to this file instead of stdout")
+    _add_common(p)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("metrics",
+                       help="fault-free run; dump the metrics registry")
+    p.add_argument("version")
+    p.add_argument("--until", type=float, default=None,
+                   help="simulated seconds to run (default: warmup+window)")
+    _add_common(p, json_flag=True)
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser("profile",
+                       help="fault-free run with kernel profiling")
+    p.add_argument("version")
+    p.add_argument("--until", type=float, default=None,
+                   help="simulated seconds to run (default: warmup+window)")
+    p.add_argument("--top", type=int, default=15,
+                   help="callback owners to list")
+    _add_common(p, json_flag=True)
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("figure", help="regenerate a paper figure/table")
     p.add_argument("name")
+    _add_common(p)
     p.set_defaults(fn=cmd_figure)
 
     p = sub.add_parser("validate", help="empirical model validation")
-    p.add_argument("version", choices=sorted(VERSIONS))
+    p.add_argument("version")
     p.add_argument("--horizon", type=float, default=7200.0)
+    _add_common(p)
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("sensitivity",
                        help="rank what-if levers; optionally search a path "
                             "to a target availability")
-    p.add_argument("version", choices=sorted(VERSIONS))
+    p.add_argument("version")
     p.add_argument("--target", type=float, default=None,
                    help="e.g. 0.99999 for five nines")
+    _add_common(p)
     p.set_defaults(fn=cmd_sensitivity)
 
     return parser

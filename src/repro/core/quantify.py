@@ -112,9 +112,16 @@ def run_single_fault(
     kind: FaultKind,
     config: QuantifyConfig = QuantifyConfig(),
     target: Optional[str] = None,
+    telemetry=None,
 ):
-    """One phase-1 experiment; returns (trace, world)."""
-    world = build_world(spec, config.profile, seed=config.seed)
+    """One phase-1 experiment; returns (trace, world).
+
+    ``telemetry`` is handed to :func:`build_world` — pass an enabled
+    :class:`~repro.obs.telemetry.Telemetry` to capture the structured
+    trace and metrics of the run (the ``repro trace`` command does).
+    """
+    world = build_world(spec, config.profile, seed=config.seed,
+                        telemetry=telemetry)
     world.reset_downtime = config.campaign.reset_duration
     campaign = SingleFaultCampaign(world, config.campaign)
     trace = campaign.run(kind, target or world.default_target(kind))

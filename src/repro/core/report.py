@@ -53,6 +53,31 @@ def format_comparison(results: Sequence[ModelResult], title: str = "") -> str:
     return "\n".join(lines)
 
 
+def model_result_to_dict(result: ModelResult) -> dict:
+    """JSON-ready rendering of a model result (``repro quantify --json``)."""
+    return {
+        "version": result.version,
+        "availability": result.availability,
+        "unavailability": result.unavailability,
+        "normal_tput": result.normal_tput,
+        "offered_rate": result.offered_rate,
+        "average_throughput": result.average_throughput,
+        "baseline_unavailability": result.baseline_unavailability,
+        "contributions": [
+            {
+                "kind": c.kind.value,
+                "label": c.label,
+                "count": c.count,
+                "mttf": c.mttf,
+                "fault_fraction": c.fault_fraction,
+                "degraded_tput": c.degraded_tput,
+                "unavailability": c.unavailability,
+            }
+            for c in result.contributions
+        ],
+    }
+
+
 def format_bar(value: float, scale: float, width: int = 50) -> str:
     """Crude textual bar for throughput timelines."""
     if scale <= 0:

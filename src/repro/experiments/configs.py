@@ -99,8 +99,21 @@ VERSIONS: Dict[str, VersionSpec] = {
 }
 
 
+#: Convenience names accepted by :func:`version` (resolution is also
+#: case-insensitive).  "pressha" is the paper's fully-hardened PRESS-HA
+#: configuration — the FME version.
+ALIASES: Dict[str, str] = {
+    "PRESSHA": "FME",
+    "PRESS-HA": "FME",
+    "BASE": "COOP",
+    "PRESS": "COOP",
+}
+
+
 def version(name: str) -> VersionSpec:
+    canonical = name.upper()
+    canonical = ALIASES.get(canonical, canonical)
     try:
-        return VERSIONS[name]
+        return VERSIONS[canonical]
     except KeyError:
         raise KeyError(f"unknown version {name!r}; known: {sorted(VERSIONS)}") from None

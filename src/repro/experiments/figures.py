@@ -387,7 +387,9 @@ def table2(ev: Evaluation) -> FigureOutput:
     from repro.press.server import PressServer
 
     membership_ncsl = ncsl_of(memb_mod) + ncsl_of(memc_mod)
-    qmon_ncsl = ncsl_of(PressServer._dispatch_to_peer)
+    # The queue-monitoring policy proper (telemetry accounting in the
+    # _dispatch_to_peer wrapper is not HA implementation effort).
+    qmon_ncsl = ncsl_of(PressServer._dispatch_policy)
     fme_ncsl = ncsl_of(fme_mod)
 
     coop_u = ev.va("COOP").unavailability

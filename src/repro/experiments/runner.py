@@ -28,6 +28,7 @@ from repro.ha.membership import (
 from repro.hardware.disk import Disk
 from repro.hardware.host import Host
 from repro.net.network import ClusterNetwork
+from repro.obs.telemetry import Telemetry
 from repro.press.config import PressConfig
 from repro.press.fabric import ClusterFabric
 from repro.press.indep import IndepServer
@@ -63,6 +64,7 @@ class World:
     fme_daemons: List[FmeDaemon] = field(default_factory=list)
     sfme: Optional[SfmeMonitor] = None
     reset_downtime: float = 10.0
+    telemetry: Telemetry = field(default_factory=Telemetry)
 
     def host_by_name(self, name: str) -> Host:
         for host in self.hosts:
@@ -141,6 +143,7 @@ def build_world(
     profile: ScaleProfile,
     seed: int = 0,
     rate: Optional[float] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> World:
     """Construct a ready-to-run deployment for ``spec``.
 
@@ -148,10 +151,16 @@ def build_world(
     are loaded at ~90% of 4-node COOP saturation and independent versions
     at ~90% of INDEP saturation, both scaled linearly with cluster size
     (Section 6.3's scaling assumption).
+
+    ``telemetry`` defaults to an enabled bundle (tracing + metrics, no
+    kernel profiling); pass ``Telemetry.disabled()`` for zero-overhead
+    runs or ``Telemetry(profile_kernel=True)`` to profile the kernel.
     """
     env = Environment()
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    telemetry.attach(env)
     rngs = RngRegistry(seed)
-    markers = MarkerLog()
+    markers = telemetry.marker_log()
     net = ClusterNetwork(env)
     fabric = ClusterFabric(env, net)
     trace_cfg = profile.trace
@@ -185,9 +194,11 @@ def build_world(
             disk = Disk(env, host, d, profile.disk, rngs.stream(f"disk.{i}.{d}"))
             disks[disk.name] = disk
         if spec.cooperative:
-            server = PressServer(host, i, press_cfg, trace, fabric, markers)
+            server = PressServer(host, i, press_cfg, trace, fabric, markers,
+                                 telemetry=telemetry)
         else:
-            server = IndepServer(host, i, press_cfg, trace, markers)
+            server = IndepServer(host, i, press_cfg, trace, markers,
+                                 telemetry=telemetry)
         hosts.append(host)
         servers.append(server)
 
@@ -195,7 +206,8 @@ def build_world(
     if spec.membership:
         mnet = MembershipNetwork(net)
         for host, server in zip(hosts, servers):
-            daemon = MembershipDaemon(host, server.node_id, mnet, MembershipConfig(), markers)
+            daemon = MembershipDaemon(host, server.node_id, mnet, MembershipConfig(), markers,
+                                      telemetry=telemetry)
             server.shared_view = daemon.shared_view
             membership_daemons.append(daemon)
 
@@ -218,7 +230,8 @@ def build_world(
         fe_cfg = FrontEndConfig(
             mode=MonMode.CONNECTION if spec.fe_conn_monitoring else MonMode.PING
         )
-        frontend = FrontEnd(env, fe_host, servers, fe_cfg, markers)
+        frontend = FrontEnd(env, fe_host, servers, fe_cfg, markers,
+                            telemetry=telemetry)
         if spec.sfme:
             sfme = SfmeMonitor(env, frontend, servers, markers=markers)
 
@@ -236,7 +249,8 @@ def build_world(
         ramp_time=profile.client.ramp_time,
         ramp_start=profile.client.ramp_start,
     )
-    pool = ClientPool(env, trace, router, stats, client_cfg, rngs.stream("clients"))
+    pool = ClientPool(env, trace, router, stats, client_cfg, rngs.stream("clients"),
+                      telemetry=telemetry)
     pool.start()
 
     injector = FaultInjector(
@@ -247,6 +261,7 @@ def build_world(
         frontends={"fe0": frontend} if frontend is not None else {},
         app_of=lambda host: host.services["press"],
         markers=markers,
+        telemetry=telemetry,
     )
 
     catalog = spec.transform_catalog(
@@ -276,4 +291,5 @@ def build_world(
         membership_daemons=membership_daemons,
         fme_daemons=fme_daemons,
         sfme=sfme,
+        telemetry=telemetry,
     )

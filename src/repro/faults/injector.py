@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional
 from repro.faults.types import FaultComponent, FaultKind
 from repro.hardware.host import Host, NodeService
 from repro.net.network import ClusterNetwork
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.kernel import Environment
 from repro.sim.series import MarkerLog
 
@@ -44,6 +45,7 @@ class FaultInjector:
         frontends: Optional[Dict[str, object]] = None,
         app_of: Optional[Callable[[Host], NodeService]] = None,
         markers: Optional[MarkerLog] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.env = env
         self.hosts = hosts
@@ -52,6 +54,7 @@ class FaultInjector:
         self.frontends = frontends or {}
         self.app_of = app_of
         self.markers = markers if markers is not None else MarkerLog()
+        self._metrics = (telemetry if telemetry is not None else NULL_TELEMETRY).metrics
         self._active: Dict[FaultComponent, ActiveFault] = {}
 
     # -- public API ----------------------------------------------------------
@@ -62,6 +65,7 @@ class FaultInjector:
         self._apply(comp)
         fault = ActiveFault(comp, self.env.now)
         self._active[comp] = fault
+        self._metrics.counter("faults_injected", kind=kind.value).inc()
         self.markers.mark(self.env.now, "fault_injected", comp)
         return fault
 
@@ -70,6 +74,8 @@ class FaultInjector:
             return
         self._undo(fault.component)
         fault.repaired_at = self.env.now
+        self._metrics.counter("faults_repaired",
+                              kind=fault.component.kind.value).inc()
         self.markers.mark(self.env.now, "fault_repaired", fault.component)
 
     def inject_for(self, kind: FaultKind, target: str, duration: float) -> ActiveFault:

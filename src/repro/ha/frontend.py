@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.hardware.host import Host
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.kernel import Environment
 from repro.sim.series import MarkerLog
 from repro.workload.client import Request, Router
@@ -67,14 +68,21 @@ class FrontEnd(Router):
         backends: List,
         config: FrontEndConfig = FrontEndConfig(),
         markers: Optional[MarkerLog] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.env = env
         self.host = host
         self.config = config
         self.markers = markers if markers is not None else MarkerLog()
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        m = tm.metrics
+        self._c_probes = m.counter("fe_probes", node=host.name)
+        self._c_probe_fail = m.counter("fe_probe_failures", node=host.name)
+        self._g_active = m.gauge("fe_active_backends", node=host.name)
         self.backends = list(backends)
         self.active: Dict[int, bool] = {id(b): True for b in backends}
         self._fail_counts: Dict[int, int] = {id(b): 0 for b in backends}
+        self._g_active.set(len(backends))
         #: entries S-FME forced out; Mon success does not re-admit these
         self._forced_out: set = set()
         self._rr = 0
@@ -109,26 +117,38 @@ class FrontEnd(Router):
             yield self.env.timeout(cfg.probe_interval)
             if not self._functioning:
                 continue
+            self._c_probes.inc()
             if self._probe_ok(backend):
                 self._fail_counts[key] = 0
                 if not self.active[key]:
                     self.active[key] = True
+                    self._update_active_gauge()
                     self.markers.mark(self.env.now, "fe_node_up", backend.host.name)
             else:
+                self._c_probe_fail.inc()
                 self._fail_counts[key] += 1
                 if self._fail_counts[key] >= cfg.failure_threshold and self.active[key]:
                     self.active[key] = False
+                    self._update_active_gauge()
                     self.markers.mark(self.env.now, "detected",
                                       ("mon", self.host.name, backend.host.name))
                     self.markers.mark(self.env.now, "fe_node_down", backend.host.name)
+
+    def _update_active_gauge(self) -> None:
+        self._g_active.set(sum(
+            1 for b in self.backends
+            if self.active[id(b)] and id(b) not in self._forced_out
+        ))
 
     # -- S-FME hook ----------------------------------------------------------------
     def force_offline(self, backend) -> None:
         """Take a backend out of rotation regardless of Mon's opinion."""
         self._forced_out.add(id(backend))
+        self._update_active_gauge()
 
     def allow_online(self, backend) -> None:
         self._forced_out.discard(id(backend))
+        self._update_active_gauge()
 
     def is_routed(self, backend) -> bool:
         return self.active[id(backend)] and id(backend) not in self._forced_out

@@ -24,6 +24,8 @@ from repro.hardware.host import Host, NodeService
 from repro.ha.memclient import SharedView
 from repro.net.message import Message
 from repro.net.network import ClusterNetwork
+from repro.obs.events import EventKind
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.series import MarkerLog
 from repro.sim.store import Store
 
@@ -76,12 +78,19 @@ class MembershipDaemon(NodeService):
         mnet: MembershipNetwork,
         config: MembershipConfig = MembershipConfig(),
         markers: Optional[MarkerLog] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         super().__init__(host)
         self.node_id = node_id
         self.mnet = mnet
         self.config = config
         self.markers = markers if markers is not None else MarkerLog()
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tracer = tm.tracer
+        m = tm.metrics
+        self._g_view_size = m.gauge("memb_view_size", node=host.name)
+        self._g_view_version = m.gauge("memb_view_version", node=host.name)
+        self._c_exclusions = m.counter("memb_exclusions_started", node=host.name)
         self.shared_view = SharedView()
         self.inbox = self.group.own_store(Store(self.env, name=f"{host.name}.membq"))
         self._reset_state()
@@ -167,6 +176,7 @@ class MembershipDaemon(NodeService):
     def _begin_exclusion(self, target: int) -> None:
         if self._pending is not None or target not in self.view:
             return
+        self._c_exclusions.inc()
         self.markers.mark(self.env.now, "detected", ("membership", self.node_id, target))
         others = self.view - {self.node_id, target}
         self._pending = {
@@ -241,6 +251,11 @@ class MembershipDaemon(NodeService):
         for nid in dropped:
             self._hb_seen.pop(nid, None)
         self._publish()
+        self._g_view_size.set(len(members))
+        self._g_view_version.set(version)
+        self._tracer.emit(EventKind.MEMB_VIEW, source=self.host.name,
+                          members=sorted(members), version=version,
+                          dropped=sorted(dropped), added=sorted(added))
         if dropped:
             self.markers.mark(now, "memb_excluded", sorted(dropped))
         if added - {self.node_id}:

@@ -1,0 +1,73 @@
+"""Unified telemetry: structured tracing, metrics, kernel profiling.
+
+Three pillars (see docs/ARCHITECTURE.md, "Observability"):
+
+* :class:`Tracer` — an append-only stream of typed :class:`TraceEvent`
+  records (fault lifecycle, membership view changes, FME decisions,
+  server crash/restart, queue saturation, request outcomes), with
+  :class:`TracedMarkerLog` keeping the legacy MarkerLog surface alive.
+* :class:`MetricsHub` — labelled :class:`Counter`/:class:`Gauge`/
+  :class:`Histogram` instruments wired into the service hot paths, with
+  a snapshot API.
+* :class:`KernelProfiler` — opt-in event-loop hooks answering "where
+  does simulation time go".
+
+:class:`Telemetry` bundles all three per world; JSONL/CSV exporters in
+:mod:`repro.obs.export` round-trip the event stream losslessly.
+"""
+
+from repro.obs.events import EventKind, KNOWN_KINDS, TraceEvent, sanitize
+from repro.obs.export import (
+    dumps_jsonl,
+    event_from_dict,
+    event_to_dict,
+    format_metrics,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+    write_metrics_json,
+)
+from repro.obs.kernelprof import KernelProfiler, callback_owner
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsHub,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import TracedMarkerLog, Tracer
+
+__all__ = [
+    "EventKind",
+    "KNOWN_KINDS",
+    "TraceEvent",
+    "sanitize",
+    "Tracer",
+    "TracedMarkerLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsHub",
+    "DEFAULT_BUCKETS",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "KernelProfiler",
+    "callback_owner",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "event_to_dict",
+    "event_from_dict",
+    "write_jsonl",
+    "read_jsonl",
+    "dumps_jsonl",
+    "write_csv",
+    "read_csv",
+    "write_metrics_json",
+    "format_metrics",
+]

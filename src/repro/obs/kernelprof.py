@@ -1,0 +1,82 @@
+"""Kernel profiling hooks: where does simulation time go?
+
+:class:`KernelProfiler` plugs into :meth:`repro.sim.kernel.Environment.set_monitor`.
+The kernel calls it on every schedule and every processed event — an
+opt-in path; with no monitor attached the kernel pays a single
+``is not None`` check per event.
+
+The profiler counts events processed, tracks the scheduler-queue
+high-water mark, and attributes each event to the *owner* of its
+callbacks (the Process name for coroutine resumptions — e.g.
+``n0.main`` or ``client-req`` — or the function's qualname for bare
+callbacks), which is what ``repro profile`` reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+
+def callback_owner(cb) -> str:
+    """Attribution key for one event callback."""
+    bound_self = getattr(cb, "__self__", None)
+    if bound_self is not None:
+        name = getattr(bound_self, "name", None)
+        if name:
+            return str(name)
+        return type(bound_self).__name__
+    return getattr(cb, "__qualname__", repr(cb))
+
+
+class KernelProfiler:
+    """Event-loop statistics collector (attach via ``env.set_monitor``)."""
+
+    __slots__ = ("events_processed", "events_scheduled", "queue_high_water",
+                 "by_owner")
+
+    def __init__(self) -> None:
+        self.events_processed = 0
+        self.events_scheduled = 0
+        self.queue_high_water = 0
+        self.by_owner: Dict[str, int] = {}
+
+    # -- kernel monitor protocol ----------------------------------------
+    def on_schedule(self, depth: int) -> None:
+        self.events_scheduled += 1
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+
+    def on_event(self, event, callbacks) -> None:
+        self.events_processed += 1
+        by_owner = self.by_owner
+        if callbacks:
+            for cb in callbacks:
+                owner = callback_owner(cb)
+                by_owner[owner] = by_owner.get(owner, 0) + 1
+        else:
+            by_owner["(uncollected)"] = by_owner.get("(uncollected)", 0) + 1
+
+    # -- reporting -------------------------------------------------------
+    def top(self, n: int = 15) -> List[Tuple[str, int]]:
+        """The ``n`` busiest callback owners, descending."""
+        return sorted(self.by_owner.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "events_processed": self.events_processed,
+            "events_scheduled": self.events_scheduled,
+            "queue_high_water": self.queue_high_water,
+            "by_owner": dict(self.by_owner),
+        }
+
+    def report(self, top_n: int = 15) -> str:
+        lines = [
+            f"events processed : {self.events_processed}",
+            f"events scheduled : {self.events_scheduled}",
+            f"queue high-water : {self.queue_high_water}",
+            "",
+            f"{'callback owner':<32} events",
+        ]
+        for owner, count in self.top(top_n):
+            lines.append(f"{owner:<32} {count}")
+        return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""The per-world telemetry bundle.
+
+One :class:`Telemetry` object travels with a
+:class:`~repro.experiments.runner.World`: a structured tracer, a metrics
+hub, and (opt-in) a kernel profiler.  ``build_world`` creates an enabled
+bundle by default; pass ``Telemetry.disabled()`` for zero-overhead runs
+(every instrument degrades to a null object and the kernel keeps its
+monitor-free fast path).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.kernelprof import KernelProfiler
+from repro.obs.metrics import MetricsHub
+from repro.obs.trace import TracedMarkerLog, Tracer
+
+
+class Telemetry:
+    """Tracer + metrics registry + optional kernel profiler for one world.
+
+    ``trace_requests`` additionally records a ``request_ok`` event per
+    successful request — precise but memory-hungry; off by default
+    (successes are always *counted* in metrics, and failures are always
+    traced as discrete events).
+    """
+
+    __slots__ = ("enabled", "tracer", "metrics", "profiler", "trace_requests")
+
+    def __init__(self, enabled: bool = True, profile_kernel: bool = False,
+                 trace_requests: bool = False):
+        self.enabled = enabled
+        self.tracer = Tracer(enabled=enabled)
+        self.metrics = MetricsHub(enabled=enabled)
+        self.profiler: Optional[KernelProfiler] = (
+            KernelProfiler() if (enabled and profile_kernel) else None
+        )
+        self.trace_requests = bool(enabled and trace_requests)
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return cls(enabled=False)
+
+    def attach(self, env) -> None:
+        """Bind to a simulation environment (clock + kernel hooks)."""
+        self.tracer.bind_clock(env)
+        if self.profiler is not None:
+            env.set_monitor(self.profiler)
+
+    def marker_log(self) -> TracedMarkerLog:
+        """A MarkerLog that mirrors every mark into the tracer."""
+        return TracedMarkerLog(self.tracer)
+
+
+#: Shared do-nothing bundle for components constructed without telemetry.
+NULL_TELEMETRY = Telemetry.disabled()

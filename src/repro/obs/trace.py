@@ -1,0 +1,104 @@
+"""The structured tracer and its MarkerLog-compatible facade.
+
+:class:`Tracer` is the append-only stream of :class:`~repro.obs.events.TraceEvent`
+records.  Components emit through it directly; legacy marker-based code
+keeps working through :class:`TracedMarkerLog`, a drop-in
+:class:`~repro.sim.series.MarkerLog` whose ``mark`` calls are mirrored
+into the tracer as typed events.  The template fitter (which consumes the
+MarkerLog interface) therefore sees exactly what it always saw, while the
+exporters see the structured stream.
+
+With ``enabled=False`` every ``emit`` returns immediately after one
+attribute check — the guard-checked fast path the kernel benchmark
+verifies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.obs.events import TraceEvent, marker_event, sanitize
+from repro.sim.series import MarkerLog
+
+
+class Tracer:
+    """Append-only, typed telemetry stream."""
+
+    __slots__ = ("enabled", "_events", "_env", "_subscribers")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+        self._env = None
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+
+    # -- wiring ----------------------------------------------------------
+    def bind_clock(self, env) -> None:
+        """Use ``env.now`` for events emitted without an explicit time."""
+        self._env = env
+
+    def subscribe(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Call ``fn(event)`` for every event emitted from now on."""
+        self._subscribers.append(fn)
+
+    # -- emission --------------------------------------------------------
+    def emit(self, kind: str, source: str = "", time: Optional[float] = None,
+             **data: Any) -> Optional[TraceEvent]:
+        """Record one event; no-op (returns None) when disabled."""
+        if not self.enabled:
+            return None
+        if time is None:
+            time = self._env.now if self._env is not None else 0.0
+        event = TraceEvent(time=float(time), kind=kind, source=source,
+                           data={k: sanitize(v) for k, v in data.items()})
+        return self._append(event)
+
+    def emit_marker(self, time: float, label: str, data: Any) -> Optional[TraceEvent]:
+        """Record a legacy marker as a structured event; no-op when disabled."""
+        if not self.enabled:
+            return None
+        return self._append(marker_event(time, label, data))
+
+    def _append(self, event: TraceEvent) -> TraceEvent:
+        self._events.append(event)
+        for fn in self._subscribers:
+            fn(event)
+        return event
+
+    # -- access ----------------------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def events_of(self, *kinds: str) -> List[TraceEvent]:
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        for e in self._events:
+            if e.kind == kind:
+                return e
+        return None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class TracedMarkerLog(MarkerLog):
+    """A MarkerLog whose marks are mirrored into a :class:`Tracer`.
+
+    Behaviourally identical to a plain MarkerLog for every query
+    (``entries``/``all``/``first``/``last``/``labels``); the only addition
+    is the side channel into the structured trace.
+    """
+
+    def __init__(self, tracer: Tracer):
+        super().__init__()
+        self._tracer = tracer
+
+    def mark(self, time: float, label: str, data: Any = None) -> None:
+        super().mark(time, label, data)
+        self._tracer.emit_marker(time, label, data)

@@ -13,14 +13,26 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Set
 
+from repro.obs.metrics import NULL_COUNTER
+
 
 class LruCache:
-    """Fixed-capacity LRU set of file ids."""
+    """Fixed-capacity LRU set of file ids.
 
-    def __init__(self, capacity: int):
+    Optional ``hits``/``misses``/``evictions`` counters (any object with
+    ``inc()``; see :mod:`repro.obs.metrics`) let a server account its
+    cache behaviour without a wrapper on the lookup hot path.  They
+    default to shared null counters — standalone use pays one no-op call.
+    """
+
+    def __init__(self, capacity: int, hits=NULL_COUNTER, misses=NULL_COUNTER,
+                 evictions=NULL_COUNTER):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity = capacity
+        self._hits = hits
+        self._misses = misses
+        self._evictions = evictions
         self._entries: "OrderedDict[int, None]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -33,7 +45,9 @@ class LruCache:
         """Hit test; a hit refreshes recency."""
         if fid in self._entries:
             self._entries.move_to_end(fid)
+            self._hits.inc()
             return True
+        self._misses.inc()
         return False
 
     def insert(self, fid: int) -> Optional[int]:
@@ -46,6 +60,7 @@ class LruCache:
         evicted = None
         if len(self._entries) >= self.capacity:
             evicted, _ = self._entries.popitem(last=False)
+            self._evictions.inc()
         self._entries[fid] = None
         return evicted
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.hardware.host import Host, NodeService
+from repro.obs.events import EventKind
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.press.cache import LruCache
 from repro.press.config import PressConfig
 from repro.sim.kernel import Event
@@ -34,12 +36,21 @@ class IndepServer(NodeService):
         config: PressConfig,
         trace,
         markers: Optional[MarkerLog] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         super().__init__(host)
         self.node_id = node_id
         self.config = config
         self.trace = trace
         self.markers = markers if markers is not None else MarkerLog()
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tracer = tm.tracer
+        m, node = tm.metrics, host.name
+        self._c_hits = m.counter("press_cache_hits", node=node)
+        self._c_misses = m.counter("press_cache_misses", node=node)
+        self._c_evict = m.counter("press_cache_evictions", node=node)
+        self._c_served = m.counter("press_requests_served", node=node)
+        self._c_disk = m.counter("press_disk_fetches", node=node)
         self.main_q = self.group.own_store(
             Store(self.env, capacity=config.main_queue_capacity, name=f"{host.name}.mainq")
         )
@@ -50,7 +61,8 @@ class IndepServer(NodeService):
         self._reset_state()
 
     def _reset_state(self) -> None:
-        self.cache = LruCache(self.config.cache_files)
+        self.cache = LruCache(self.config.cache_files, hits=self._c_hits,
+                              misses=self._c_misses, evictions=self._c_evict)
         self.client_pending = 0
         self.requests_served = 0
         # In-flight miss coalescing: fid -> [waiting requests].
@@ -63,11 +75,16 @@ class IndepServer(NodeService):
             return
         self._reset_state()
         self._running = True
+        self._tracer.emit(EventKind.SERVER_START, source=self.host.name,
+                          node_id=self.node_id)
         self.env.process(self._main_loop(), owner=self.group, name=f"{self.host.name}.main")
         for i in range(self.config.disk_threads):
             self.env.process(self._disk_loop(), owner=self.group, name=f"{self.host.name}.disk{i}")
 
     def on_crash(self) -> None:
+        if self._running:
+            self._tracer.emit(EventKind.SERVER_CRASH, source=self.host.name,
+                              node_id=self.node_id)
         self._running = False
         self.client_pending = 0
 
@@ -114,6 +131,7 @@ class IndepServer(NodeService):
                         waiters.append(item)
                     else:
                         self.pending_fetch[item.fid] = [item]
+                        self._c_disk.inc()
                         yield self.disk_q.put(item.fid)  # blocks when disks stall
             elif kind == "disk":
                 yield self.env.timeout(cfg.cpu_disk_done)
@@ -142,4 +160,5 @@ class IndepServer(NodeService):
     def _respond(self, req: Request) -> None:
         self.client_pending -= 1
         self.requests_served += 1
+        self._c_served.inc()
         req.respond()

@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Set
 from repro.hardware.host import Host, NodeService
 from repro.net.message import Message
 from repro.net.transport import CLOSED, Connection, ConnectionClosed
+from repro.obs.events import EventKind
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.press.cache import CacheDirectory, LruCache
 from repro.press.config import PressConfig
 from repro.press.fabric import ClusterFabric
@@ -88,6 +90,10 @@ class PressServer(NodeService):
 
     service_name = "press"
 
+    #: minimum spacing (sim seconds) between queue_saturated trace events
+    #: for the same queue — saturation is an *episode*, not per message
+    _SAT_EMIT_INTERVAL = 5.0
+
     def __init__(
         self,
         host: Host,
@@ -96,6 +102,7 @@ class PressServer(NodeService):
         trace,
         fabric: ClusterFabric,
         markers: Optional[MarkerLog] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         super().__init__(host)
         self.node_id = node_id
@@ -103,6 +110,21 @@ class PressServer(NodeService):
         self.trace = trace
         self.fabric = fabric
         self.markers = markers if markers is not None else MarkerLog()
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tracer = tm.tracer
+        m, node = tm.metrics, host.name
+        self._c_hits = m.counter("press_cache_hits", node=node)
+        self._c_misses = m.counter("press_cache_misses", node=node)
+        self._c_evict = m.counter("press_cache_evictions", node=node)
+        self._c_served = m.counter("press_requests_served", node=node)
+        self._c_forwards = m.counter("press_forwards", node=node)
+        self._c_remote = m.counter("press_remote_serves", node=node)
+        self._c_disk = m.counter("press_disk_fetches", node=node)
+        self._c_reroutes = m.counter("press_send_reroutes", node=node)
+        self._c_drops = m.counter("press_send_drops", node=node)
+        self._c_qmon = m.counter("press_qmon_exclusions", node=node)
+        self._c_excl = m.counter("press_exclusions", node=node)
+        self._c_hb = m.counter("press_heartbeats_sent", node=node)
         # Queues live for the lifetime of the server object; their contents
         # are volatile (cleared on process crash).
         self.main_q = self.group.own_store(
@@ -125,8 +147,10 @@ class PressServer(NodeService):
     # state & lifecycle
     # ------------------------------------------------------------------
     def _reset_state(self) -> None:
-        self.cache = LruCache(self.config.cache_files)
+        self.cache = LruCache(self.config.cache_files, hits=self._c_hits,
+                              misses=self._c_misses, evictions=self._c_evict)
         self.directory = CacheDirectory()
+        self._sat_last: Dict[str, float] = {}
         # In-flight miss coalescing: fid -> [DiskFetch waiters].  One disk
         # read satisfies every concurrent request for the same file.
         self.pending_fetch: Dict[int, List[DiskFetch]] = {}
@@ -158,6 +182,8 @@ class PressServer(NodeService):
             return
         self._reset_state()
         self._running = True
+        self._tracer.emit(EventKind.SERVER_START, source=self.host.name,
+                          node_id=self.node_id)
         self._grace_until = self.env.now + self.config.startup_grace
         self._warm_mode = True
         env = self.env
@@ -176,6 +202,9 @@ class PressServer(NodeService):
         # process's TCP connections (RST): peers notice the break at once.
         # On a *node* crash there is no RST — peers block on their sends
         # until the heartbeat ring times out (Section 3).
+        if self._running:
+            self._tracer.emit(EventKind.SERVER_CRASH, source=self.host.name,
+                              node_id=self.node_id)
         self._running = False
         if self.host.is_up:
             for link in self.links.values():
@@ -309,6 +338,7 @@ class PressServer(NodeService):
         if link is None:  # excluded while we were parsing
             yield from self._to_disk(DiskFetch(req.fid, request=req))
             return
+        self._c_forwards.inc()
         self._next_reqid += 1
         reqid = self._next_reqid
         msg = Message("fwd_req", self.node_id, target,
@@ -337,6 +367,30 @@ class PressServer(NodeService):
 
     def _dispatch_to_peer(self, link: PeerLink, msg: Message, is_request: bool) -> str:
         """Queue-monitoring policy (Section 4.3) or blocking enqueue."""
+        disposition = self._dispatch_policy(link, msg, is_request)
+        if disposition == "reroute":
+            self._c_reroutes.inc()
+            self._note_queue_pressure(link.send_q.name, "reroute")
+        elif disposition == "dropped":
+            self._c_drops.inc()
+            self._note_queue_pressure(link.send_q.name, "dropped")
+        elif disposition == "failed":
+            self._c_qmon.inc()
+            self._note_queue_pressure(link.send_q.name, "qmon_failed")
+        return disposition
+
+    def _note_queue_pressure(self, queue: str, action: str) -> None:
+        """Trace a saturation episode, at most once per interval per queue."""
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        now = self.env.now
+        if now - self._sat_last.get(queue, -1e18) >= self._SAT_EMIT_INTERVAL:
+            self._sat_last[queue] = now
+            tracer.emit(EventKind.QUEUE_SATURATED, source=self.host.name,
+                        queue=queue, action=action)
+
+    def _dispatch_policy(self, link: PeerLink, msg: Message, is_request: bool) -> str:
         cfg = self.config
         if not cfg.queue_monitoring:
             if msg.kind in self._DROPPABLE:
@@ -372,6 +426,7 @@ class PressServer(NodeService):
             waiters.append(fetch)  # a read for this file is already queued
             return
         self.pending_fetch[fetch.fid] = [fetch]
+        self._c_disk.inc()
         # The disk queue put blocks when full — a node with a dead disk
         # stalls itself here no matter which HA techniques are enabled.
         yield self.disk_q.put(fetch.fid)
@@ -382,6 +437,7 @@ class PressServer(NodeService):
         if "load" in payload:
             self.loads[msg.src] = payload["load"]
         if msg.kind == "fwd_req":
+            self._c_remote.inc()
             yield self.env.timeout(cfg.cpu_remote_serve)
             fid = payload["fid"]
             if self.cache.lookup(fid):
@@ -477,6 +533,7 @@ class PressServer(NodeService):
     def _respond(self, req: Request) -> None:
         self.client_pending -= 1
         self.requests_served += 1
+        self._c_served.inc()
         req.respond()
 
     # ------------------------------------------------------------------
@@ -598,6 +655,7 @@ class PressServer(NodeService):
             # the node, which is what lets peers detect it.
             if self._progress != self._progress_at_hb or self.main_q.level < 4:
                 self.fabric.control_send(self, succ, "hb")
+                self._c_hb.inc()
                 self._progress_at_hb = self._progress
                 self._last_hb_sent = now
         if self._warm_mode:
@@ -641,6 +699,7 @@ class PressServer(NodeService):
         in_coop = peer_id in self.coop
         if link is None and not in_coop:
             return
+        self._c_excl.inc()
         self.markers.mark(self.env.now, "detected", (reason, self.node_id, peer_id))
         self.markers.mark(self.env.now, "excluded", (self.node_id, peer_id))
         # Reconfiguration brings a re-warming burst (the excluded node's

@@ -129,16 +129,30 @@ class Environment:
         env.run(until=600.0)
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, monitor=None):
         self._now = float(initial_time)
         self._queue: list = []
         self._seq = 0
         self._stopped = False
+        # Opt-in profiling hook (see repro.obs.kernelprof).  The fast path
+        # pays one `is not None` check per schedule/step; with no monitor
+        # attached the loop is byte-for-byte the unprofiled one.
+        self._monitor = monitor
 
     @property
     def now(self) -> float:
         """Current simulated time (seconds)."""
         return self._now
+
+    @property
+    def monitor(self):
+        """The attached kernel monitor (profiler), or None."""
+        return self._monitor
+
+    def set_monitor(self, monitor) -> None:
+        """Attach an object with ``on_schedule(depth)``/``on_event(event,
+        callbacks)`` hooks; pass None to detach and restore the fast path."""
+        self._monitor = monitor
 
     # -- scheduling -----------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
@@ -149,6 +163,8 @@ class Environment:
         event._scheduled = True
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        if self._monitor is not None:
+            self._monitor.on_schedule(len(self._queue))
 
     def event(self) -> Event:
         return Event(self)
@@ -189,6 +205,8 @@ class Environment:
         event.callbacks = None
         event._processed = True
         assert callbacks is not None
+        if self._monitor is not None:
+            self._monitor.on_event(event, callbacks)
         for cb in callbacks:
             cb(event)
         if event._ok is False and not getattr(event, "_defused", False):

@@ -79,9 +79,23 @@ class QueueDepthProbe(GaugeProbe):
 
 
 class DiskUtilizationProbe(GaugeProbe):
-    """Samples served-op deltas as a utilization proxy (ops/s x service)."""
+    """Samples served-op deltas as a utilization proxy (ops/s x service).
 
-    def __init__(self, env: Environment, disk, period: float = 1.0):
+    The proxy needs a representative op size to convert an op count into
+    busy time; pass the workload's mean file size (``TraceConfig.file_size``
+    for the synthetic trace).  When omitted it falls back to the default
+    trace configuration rather than a hard-coded constant.
+    """
+
+    def __init__(self, env: Environment, disk, period: float = 1.0,
+                 mean_file_size: Optional[int] = None):
+        if mean_file_size is None:
+            from repro.workload.trace import TraceConfig
+
+            mean_file_size = TraceConfig().file_size
+        if mean_file_size <= 0:
+            raise ValueError("mean_file_size must be positive")
+        self._mean_file_size = int(mean_file_size)
         self._disk = disk
         self._last_ops = disk.ops_served
         super().__init__(env, self._delta, period, name=f"util:{disk.name}")
@@ -90,7 +104,7 @@ class DiskUtilizationProbe(GaugeProbe):
         ops = self._disk.ops_served
         delta = ops - self._last_ops
         self._last_ops = ops
-        busy = delta * self._disk.params.service_time(27_000)
+        busy = delta * self._disk.params.service_time(self._mean_file_size)
         return min(busy / self.period, 1.0)
 
 
@@ -103,3 +117,11 @@ def probe_world_queues(world, period: float = 1.0) -> List[QueueDepthProbe]:
             if store is not None:
                 probes.append(QueueDepthProbe(world.env, store, period))
     return probes
+
+
+def probe_world_disks(world, period: float = 1.0) -> List[DiskUtilizationProbe]:
+    """Attach utilization probes to every disk, sized from the world's
+    workload profile (the mean file size the servers actually read)."""
+    size = world.profile.trace.file_size
+    return [DiskUtilizationProbe(world.env, disk, period, mean_file_size=size)
+            for disk in world.disks.values()]

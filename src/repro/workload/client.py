@@ -21,6 +21,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.events import EventKind
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.conditions import AnyOf
 from repro.sim.kernel import Environment, Event
 from repro.workload.stats import Outcome, RequestStats
@@ -110,6 +112,7 @@ class ClientPool:
         stats: RequestStats,
         config: ClientConfig,
         rng: np.random.Generator,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.env = env
         self.trace = trace
@@ -118,6 +121,17 @@ class ClientPool:
         self.config = config
         self.rng = rng
         self._started = False
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tracer = tm.tracer
+        self._trace_ok = tm.trace_requests
+        m = tm.metrics
+        self._c_issued = m.counter("client_requests_issued")
+        self._c_ok = m.counter("client_requests_ok")
+        self._h_latency = m.histogram("client_request_latency")
+        self._c_fail = {
+            outcome: m.counter("client_requests_failed", outcome=outcome.value)
+            for outcome in Outcome if outcome is not Outcome.SUCCESS
+        }
 
     def start(self) -> None:
         """Begin generating requests (idempotent)."""
@@ -134,6 +148,7 @@ class ClientPool:
             fid = self.trace.sample_file()
             req = Request(self.env, fid, self.trace.file_size(fid))
             self.stats.record_issue(self.env.now)
+            self._c_issued.inc()
             self.env.process(self._issue(req), name="client-req")
 
     # -- per-request lifecycle ----------------------------------------------------
@@ -159,7 +174,14 @@ class ClientPool:
         deadline = self.env.timeout(cfg.request_timeout)
         yield AnyOf(self.env, [req.response, deadline])
         if req.response.triggered:
-            self.stats.record_success(self.env.now, self.env.now - req.created)
+            latency = self.env.now - req.created
+            self.stats.record_success(self.env.now, latency)
+            self._c_ok.inc()
+            self._h_latency.observe(latency)
+            if self._trace_ok:
+                # Opt-in: one event per served request is a lot of volume.
+                self._tracer.emit(EventKind.REQUEST_OK, source="clients",
+                                  fid=req.fid, latency=latency)
         else:
             req.expired = True
             self._fail(req, Outcome.REQUEST_TIMEOUT)
@@ -167,3 +189,6 @@ class ClientPool:
     def _fail(self, req: Request, outcome: Outcome) -> None:
         req.expired = True
         self.stats.record_failure(self.env.now, outcome)
+        self._c_fail[outcome].inc()
+        self._tracer.emit(EventKind.REQUEST_FAILED, source="clients",
+                          fid=req.fid, outcome=outcome.value)

@@ -1,5 +1,7 @@
 """CLI end-to-end (quick mode): the commands users actually run."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -14,6 +16,72 @@ def test_inject_prints_timeline_and_sets(capsys, monkeypatch):
     assert "INJECT" in out
     assert "REPAIR" in out
     assert "cooperation sets" in out
+
+
+def test_inject_json(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    assert main(["--quick", "inject", "COOP", "node_crash", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["fault"] == "node_crash"
+    assert payload["timeline"]["t_detect"] is not None
+    kinds = {e["kind"] for e in payload["events"]}
+    assert {"fault_injected", "detected", "fault_repaired"} <= kinds
+
+
+def test_trace_pressha_node_crash_quick(capsys, monkeypatch):
+    """The headline telemetry command: alias resolution + trailing --quick."""
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    assert main(["trace", "pressha", "node_crash", "--quick"]) == 0
+    captured = capsys.readouterr()
+    events = [json.loads(line) for line in captured.out.splitlines() if line]
+    assert events, "trace must emit JSONL events"
+    kinds = {e["kind"] for e in events}
+    assert {"fault_injected", "detected", "fault_repaired"} <= kinds
+    assert "memb_view" in kinds  # >= 1 membership event
+    assert kinds & {"fe_node_down", "fe_node_up", "fe_failed"}  # frontend
+    assert "events" in captured.err
+
+
+def test_trace_csv_to_file(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    out = tmp_path / "trace.csv"
+    assert main(["--quick", "trace", "COOP", "app_crash",
+                 "--format", "csv", "--out", str(out)]) == 0
+    from repro.obs.export import read_csv
+
+    events = read_csv(str(out))
+    assert any(e.kind == "fault_injected" for e in events)
+
+
+def test_metrics_command(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    assert main(["--quick", "metrics", "coop", "--until", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "client_requests_issued" in out
+    assert "press_cache_hits{node=n0}" in out
+
+
+def test_metrics_json(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    assert main(["--quick", "metrics", "INDEP", "--until", "20", "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    names = {m["name"] for m in snapshot}
+    assert "client_requests_issued" in names
+
+
+def test_profile_command(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    assert main(["--quick", "profile", "INDEP", "--until", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "events processed" in out
+    assert "n0.main" in out
+
+
+def test_unknown_version_is_a_clean_error(monkeypatch):
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    with pytest.raises(SystemExit) as exc:
+        main(["--quick", "metrics", "no-such-version"])
+    assert "unknown version" in str(exc.value)
 
 
 def test_quantify_single_version(capsys, monkeypatch):

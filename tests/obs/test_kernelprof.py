@@ -1,0 +1,135 @@
+"""Kernel profiling hooks and the Telemetry bundle."""
+
+from repro.obs.kernelprof import KernelProfiler, callback_owner
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.sim.kernel import Environment
+
+
+def _ticker(env, period):
+    while True:
+        yield env.timeout(period)
+
+
+class TestKernelProfiler:
+    def test_counts_events_and_owners(self):
+        env = Environment()
+        profiler = KernelProfiler()
+        env.set_monitor(profiler)
+        env.process(_ticker(env, 1.0), name="tick-a")
+        env.process(_ticker(env, 2.0), name="tick-b")
+        env.run(until=10.0)
+        assert profiler.events_processed > 0
+        assert profiler.events_scheduled >= profiler.events_processed
+        assert profiler.queue_high_water >= 1
+        # Each process resumption is attributed to the Process name
+        # (the start bootstrap plus one per expired timeout).
+        assert profiler.by_owner["tick-a"] == 11
+        assert profiler.by_owner["tick-b"] == 6
+
+    def test_same_run_with_and_without_monitor_is_identical(self):
+        def run(monitor):
+            env = Environment(monitor=monitor)
+            seen = []
+
+            def recorder():
+                while True:
+                    yield env.timeout(0.5)
+                    seen.append(env.now)
+
+            env.process(recorder(), name="rec")
+            env.run(until=5.0)
+            return seen
+
+        assert run(None) == run(KernelProfiler())
+
+    def test_detach_restores_fast_path(self):
+        env = Environment()
+        profiler = KernelProfiler()
+        env.set_monitor(profiler)
+        env.process(_ticker(env, 1.0), name="t")
+        env.run(until=3.0)
+        counted = profiler.events_processed
+        env.set_monitor(None)
+        assert env.monitor is None
+        env.run(until=10.0)
+        assert profiler.events_processed == counted
+
+    def test_top_and_report(self):
+        profiler = KernelProfiler()
+        profiler.by_owner.update({"a": 5, "b": 9, "c": 1})
+        assert profiler.top(2) == [("b", 9), ("a", 5)]
+        text = profiler.report(top_n=2)
+        assert "events processed" in text and "b" in text
+
+    def test_uncollected_events_counted(self):
+        profiler = KernelProfiler()
+        profiler.on_event(object(), [])
+        assert profiler.by_owner == {"(uncollected)": 1}
+
+    def test_snapshot_is_plain_data(self):
+        profiler = KernelProfiler()
+        profiler.on_schedule(3)
+        snap = profiler.snapshot()
+        assert snap["events_scheduled"] == 1
+        assert snap["queue_high_water"] == 3
+
+
+class TestCallbackOwner:
+    def test_bound_method_uses_owner_name(self):
+        class Proc:
+            name = "n0.main"
+
+            def resume(self, ev):
+                pass
+
+        assert callback_owner(Proc().resume) == "n0.main"
+
+    def test_bound_method_without_name_uses_type(self):
+        class Thing:
+            def cb(self, ev):
+                pass
+
+        assert callback_owner(Thing().cb) == "Thing"
+
+    def test_plain_function_uses_qualname(self):
+        def handler(ev):
+            pass
+
+        assert "handler" in callback_owner(handler)
+
+
+class TestTelemetry:
+    def test_enabled_bundle(self):
+        tm = Telemetry(profile_kernel=True)
+        env = Environment()
+        tm.attach(env)
+        assert env.monitor is tm.profiler
+        env.process(_ticker(env, 1.0), name="t")
+        env.run(until=3.0)
+        assert tm.profiler.events_processed > 0
+        assert tm.tracer.emit("server_start").time == 3.0
+
+    def test_disabled_bundle_is_inert(self):
+        tm = Telemetry.disabled()
+        env = Environment()
+        tm.attach(env)
+        assert env.monitor is None
+        assert tm.tracer.emit("server_start") is None
+        tm.metrics.counter("x").inc()
+        assert tm.metrics.snapshot() == []
+        assert tm.profiler is None
+        assert not tm.trace_requests
+
+    def test_profiler_requires_enabled(self):
+        assert Telemetry(enabled=False, profile_kernel=True).profiler is None
+
+    def test_marker_log_mirrors_into_tracer(self):
+        tm = Telemetry()
+        log = tm.marker_log()
+        log.mark(1.0, "detected", ("heartbeat", 0, 1))
+        assert len(tm.tracer) == 1
+        assert tm.tracer.first("detected").data["mechanism"] == "heartbeat"
+
+    def test_null_telemetry_shared(self):
+        assert not NULL_TELEMETRY.enabled
+        assert NULL_TELEMETRY.tracer.emit("x") is None

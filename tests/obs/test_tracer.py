@@ -1,0 +1,166 @@
+"""Tracer, marker translation, and the MarkerLog facade equivalence."""
+
+import pytest
+
+from repro.faults.types import FaultComponent, FaultKind
+from repro.obs.events import EventKind, KNOWN_KINDS, TraceEvent, marker_event, sanitize
+from repro.obs.trace import TracedMarkerLog, Tracer
+from repro.sim.kernel import Environment
+from repro.sim.series import MarkerLog
+
+
+class TestTracer:
+    def test_emit_and_query(self):
+        tr = Tracer()
+        tr.emit("server_start", source="n0", time=1.0, node_id=0)
+        tr.emit("server_crash", source="n0", time=5.0, node_id=0)
+        assert len(tr) == 2
+        assert tr.first("server_crash").time == 5.0
+        assert [e.kind for e in tr.events_of("server_start")] == ["server_start"]
+        assert tr.first("nothing") is None
+
+    def test_disabled_is_inert(self):
+        tr = Tracer(enabled=False)
+        assert tr.emit("server_start", time=0.0) is None
+        assert tr.emit_marker(0.0, "detected", None) is None
+        assert len(tr) == 0
+
+    def test_bound_clock_stamps_events(self):
+        env = Environment()
+        tr = Tracer()
+        tr.bind_clock(env)
+
+        def waiter():
+            yield env.timeout(3.0)
+
+        env.process(waiter())
+        env.run(until=3.0)
+        ev = tr.emit("server_start")
+        assert ev.time == 3.0
+
+    def test_subscribers_see_events(self):
+        tr = Tracer()
+        seen = []
+        tr.subscribe(seen.append)
+        tr.emit("server_start", time=0.0)
+        assert [e.kind for e in seen] == ["server_start"]
+
+    def test_data_sanitized_at_emit(self):
+        tr = Tracer()
+        ev = tr.emit("memb_view", time=0.0, members=(2, 0, 1),
+                     kind_enum=FaultKind.NODE_CRASH)
+        assert ev.data["members"] == [2, 0, 1]
+        assert ev.data["kind_enum"] == "node_crash"
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.emit("server_start", time=0.0)
+        tr.clear()
+        assert len(tr) == 0
+
+
+class TestSanitize:
+    def test_primitives_pass_through(self):
+        for v in (None, "x", 1, 1.5, True):
+            assert sanitize(v) == v
+
+    def test_containers_become_json_shapes(self):
+        assert sanitize((1, 2)) == [1, 2]
+        assert sanitize({1: (2,)}) == {"1": [2]}
+        assert sanitize({3, 1, 2}) == [1, 2, 3]
+
+    def test_fault_component(self):
+        comp = FaultComponent(FaultKind.NODE_CRASH, "n1")
+        assert sanitize(comp) == {"kind": "node_crash", "target": "n1"}
+
+    def test_fallback_is_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert sanitize(Opaque()) == "<opaque>"
+
+
+class TestMarkerEvent:
+    def test_detected_triple(self):
+        ev = marker_event(10.0, "detected", ("heartbeat", 0, 1))
+        assert ev.kind == EventKind.DETECTED
+        assert ev.source == "0"
+        assert ev.data == {"mechanism": "heartbeat", "observer": 0, "target": 1}
+
+    def test_excluded_pair(self):
+        ev = marker_event(10.0, "excluded", (0, 1))
+        assert ev.data == {"observer": 0, "peer": 1}
+
+    def test_fault_component_payload(self):
+        comp = FaultComponent(FaultKind.APP_HANG, "n2")
+        ev = marker_event(10.0, "fault_injected", comp)
+        assert ev.source == "injector"
+        assert ev.data == {"fault": "app_hang", "target": "n2"}
+
+    def test_membership_lists(self):
+        ev = marker_event(10.0, "memb_excluded", [3])
+        assert ev.source == "membership"
+        assert ev.data == {"members": [3]}
+
+    def test_frontend_labels(self):
+        ev = marker_event(10.0, "fe_node_down", "n1")
+        assert ev.source == "frontend"
+        assert ev.data == {"node": "n1"}
+
+    def test_unknown_label_passes_through(self):
+        ev = marker_event(10.0, "custom_annotation", {"a": (1,)})
+        assert ev.kind == "custom_annotation"
+        assert ev.data == {"a": [1]}
+        ev2 = marker_event(10.0, "another", 42)
+        assert ev2.data == {"value": 42}
+
+    def test_known_kinds_covers_vocabulary(self):
+        assert EventKind.QUEUE_SATURATED in KNOWN_KINDS
+        assert EventKind.MEMB_VIEW in KNOWN_KINDS
+
+
+class TestTracedMarkerLogFacade:
+    """The facade must be query-for-query identical to a plain MarkerLog."""
+
+    MARKS = [
+        (1.0, "fault_injected", FaultComponent(FaultKind.NODE_CRASH, "n1")),
+        (2.0, "detected", ("heartbeat", 0, 1)),
+        (2.0, "excluded", (0, 1)),
+        (3.0, "fe_node_down", "n1"),
+        (9.0, "detected", ("mon", "fe0", "n1")),
+        (30.0, "fault_repaired", FaultComponent(FaultKind.NODE_CRASH, "n1")),
+        (40.0, "reintegrated", 1),
+    ]
+
+    def _both(self):
+        plain, traced = MarkerLog(), TracedMarkerLog(Tracer())
+        for t, label, data in self.MARKS:
+            plain.mark(t, label, data)
+            traced.mark(t, label, data)
+        return plain, traced
+
+    def test_entries_identical(self):
+        plain, traced = self._both()
+        assert traced.entries == plain.entries
+
+    def test_queries_identical(self):
+        plain, traced = self._both()
+        for label in ("detected", "excluded", "fault_injected", "missing"):
+            assert traced.all(label) == plain.all(label)
+            assert traced.first(label) == plain.first(label)
+            assert traced.last(label) == plain.last(label)
+        assert traced.labels() == plain.labels()
+
+    def test_marks_mirrored_into_tracer(self):
+        _, traced = self._both()
+        events = traced._tracer.events
+        assert len(events) == len(self.MARKS)
+        assert [e.kind for e in events] == [label for _, label, _ in self.MARKS]
+        assert events[0].data == {"fault": "node_crash", "target": "n1"}
+
+    def test_disabled_tracer_keeps_facade_working(self):
+        traced = TracedMarkerLog(Tracer(enabled=False))
+        traced.mark(1.0, "detected", ("heartbeat", 0, 1))
+        assert traced.first("detected") == 1.0
+        assert len(traced._tracer) == 0

@@ -42,6 +42,37 @@ class TestGaugeProbe:
         # only once run; check empty accessors beforehand
         assert probe.mean() == 0.0 or probe.mean() == 1.0
 
+    def test_mean_window_boundaries(self, env):
+        # Samples land at t=0,1,2,3 with values 0,10,20,30; the window is
+        # half-open [t0, t1): the t1 sample must be excluded, t0 included.
+        data = iter([0.0, 10.0, 20.0, 30.0])
+        probe = GaugeProbe(env, lambda: next(data), period=1.0)
+        env.run(until=3.5)
+        assert probe.mean(t0=1.0, t1=3.0) == 15.0  # samples at 1, 2
+        assert probe.mean(t0=1.0, t1=1.0 + 1e-9) == 10.0  # just the t0 sample
+        assert probe.mean(t0=3.0) == 30.0  # open-ended right edge
+        assert probe.mean(t1=1.0) == 0.0  # open-ended left edge
+        assert probe.mean(t0=5.0, t1=9.0) == 0.0  # window past the data
+
+    def test_time_above_threshold_boundaries(self, env):
+        data = iter([5.0, 10.0, 15.0, 10.0])
+        probe = GaugeProbe(env, lambda: next(data), period=1.0)
+        env.run(until=3.5)
+        # Strictly above: samples equal to the threshold do not count.
+        assert probe.time_above(10.0) == pytest.approx(1.0)
+        assert probe.time_above(4.0) == pytest.approx(4.0)
+        assert probe.time_above(20.0) == 0.0
+
+    def test_time_above_scales_with_period(self, env):
+        data = iter([1.0, 1.0])
+        probe = GaugeProbe(env, lambda: next(data), period=5.0)
+        env.run(until=6.0)
+        assert probe.time_above(0.0) == pytest.approx(10.0)
+
+    def test_time_above_empty(self, env):
+        probe = GaugeProbe(env, lambda: 1.0, period=1.0)
+        assert probe.time_above(0.0) == 0.0
+
 
 class TestQueueDepthProbe:
     def test_tracks_backlog(self, env):
@@ -80,3 +111,36 @@ class TestDiskUtilizationProbe:
         probe = DiskUtilizationProbe(env, disk, period=1.0)
         env.run(until=5.0)
         assert probe.mean() == 0.0
+
+    def test_mean_file_size_defaults_to_trace_config(self, env):
+        from repro.workload.trace import TraceConfig
+
+        host = Host(env, "n0", 0)
+        disk = Disk(env, host, 0, DiskParams())
+        probe = DiskUtilizationProbe(env, disk)
+        assert probe._mean_file_size == TraceConfig().file_size
+
+    def test_mean_file_size_override_changes_estimate(self, env):
+        host = Host(env, "n0", 0)
+        disk = Disk(env, host, 0, DiskParams(jitter=0.0))
+        small = DiskUtilizationProbe(env, disk, period=1.0, mean_file_size=1)
+        big = DiskUtilizationProbe(env, disk, period=1.0,
+                                   mean_file_size=10_000_000)
+
+        def hammer():
+            while True:
+                sub = disk.submit(27_000)
+                yield sub.enqueued
+                yield sub.done
+
+        env.process(hammer(), owner=host.os)
+        env.run(until=10.0)
+        # Same op stream, different per-op size assumption: the bigger
+        # assumed transfer must imply more estimated busy time.
+        assert big.mean(t0=2.0) > small.mean(t0=2.0)
+
+    def test_mean_file_size_validation(self, env):
+        host = Host(env, "n0", 0)
+        disk = Disk(env, host, 0, DiskParams())
+        with pytest.raises(ValueError):
+            DiskUtilizationProbe(env, disk, mean_file_size=0)

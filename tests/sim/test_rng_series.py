@@ -96,6 +96,41 @@ class TestThroughputSeries:
         with pytest.raises(ValueError):
             s.count(2, 1)
 
+    def test_bucketize_empty_series_defaults(self):
+        s = ThroughputSeries()
+        edges, rates = s.bucketize(1.0)
+        assert list(edges) == [0.0]
+        assert list(rates) == [0.0]
+
+    def test_bucketize_empty_series_explicit_window(self):
+        s = ThroughputSeries()
+        edges, rates = s.bucketize(2.0, 0.0, 10.0)
+        assert len(edges) == 5
+        assert np.all(rates == 0.0)
+
+    def test_bucketize_single_event_default_window(self):
+        s = ThroughputSeries()
+        s.record(3.0)
+        edges, rates = s.bucketize(1.0)
+        assert edges[0] == 3.0
+        assert rates[0] == pytest.approx(1.0)
+
+    def test_bucketize_ragged_last_bin(self):
+        # A window that is not a multiple of the bin width still covers
+        # every event: the last (partial) bin is kept.
+        s = ThroughputSeries()
+        for t in (0.5, 1.5, 2.25):
+            s.record(t)
+        edges, rates = s.bucketize(1.0, 0.0, 2.5)
+        assert len(edges) == 3
+        assert rates.sum() * 1.0 == pytest.approx(3.0)
+
+    def test_bucketize_window_excluding_all_events(self):
+        s = ThroughputSeries()
+        s.record(1.0)
+        _edges, rates = s.bucketize(1.0, 100.0, 105.0)
+        assert np.all(rates == 0.0)
+
 
 class TestMarkerLog:
     def test_first_and_last(self):

@@ -7,6 +7,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.sim",
+    "repro.obs",
     "repro.hardware",
     "repro.net",
     "repro.faults",
