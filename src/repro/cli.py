@@ -12,9 +12,18 @@ Commands
     One single-fault experiment, emitting the structured telemetry trace
     (JSONL by default, ``--format csv`` for spreadsheets).
 ``metrics VERSION``
-    Fault-free run; dump the metrics registry snapshot.
+    Fault-free run; dump the metrics registry snapshot (histograms include
+    p50/p90/p99).
 ``profile VERSION``
     Fault-free run with kernel profiling; report the event-loop hot spots.
+``record VERSION FAULT``
+    One single-fault experiment captured as a replayable flight-recorder
+    artifact (JSON) for offline re-analysis.
+``budget RECORD [RECORD ...]``
+    Re-fit and attribute recorded flights; print the per-version
+    unavailability error budget with stage-level drill-down.
+``timeline RECORD``
+    ASCII throughput/stage timeline of a recorded flight.
 ``figure NAME``
     Regenerate one of the paper's figures/tables (fig1a..fig10, table1/2).
 ``validate VERSION``
@@ -98,7 +107,7 @@ def cmd_quantify(args) -> int:
         va = quantify_version(_version(name), config)
         results.append(va.result)
         if not args.json:
-            print(format_model_result(va.result))
+            print(format_model_result(va.result, stages=args.stages))
             print()
     if args.json:
         print(json.dumps([model_result_to_dict(r) for r in results],
@@ -214,6 +223,80 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_record(args) -> int:
+    from repro.obs.attribution import StageAttributor
+    from repro.obs.recorder import record_flight, write_record
+
+    config = _config(args)
+    kind = FaultKind(args.fault)
+    record = record_flight(_version(args.version), kind, config,
+                           target=args.target, seed=args.seed)
+    out = args.out
+    if out is None:
+        out = f"results/records/{record.version}-{kind.value}.json"
+    write_record(record, out)
+    report = StageAttributor().attribute(record)
+    if args.json:
+        print(json.dumps({
+            "artifact": out,
+            "version": record.version,
+            "fault": record.fault,
+            "target": record.target,
+            "seed": record.seed,
+            "samples": len(record.samples),
+            "events": len(record.events),
+            "attribution": report.to_dict(),
+        }, sort_keys=True))
+        return 0
+    print(f"recorded {record.version}/{kind.value} -> {out}")
+    print(f"  {len(record.samples)} samples, {len(record.events)} events, "
+          f"seed {record.seed}, profile {record.profile}")
+    print(f"  attribution: {report.coverage * 100:.1f}% of "
+          f"{report.total_lost:.1f} lost request-seconds named; "
+          f"fit cross-check "
+          f"{'agrees' if report.agrees_with_fit else 'DISAGREES'}")
+    return 0
+
+
+def _load_records(paths):
+    from repro.obs.recorder import read_record
+
+    records = []
+    for path in paths:
+        try:
+            records.append(read_record(path))
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"error: cannot read record {path!r}: {exc}")
+    return records
+
+
+def cmd_budget(args) -> int:
+    from repro.core.model import EnvironmentParams
+    from repro.obs.budget import budget_from_records, format_budget
+
+    records = _load_records(args.records)
+    env = EnvironmentParams(operator_response=args.operator_response,
+                            reset_duration=args.reset_duration)
+    try:
+        report = budget_from_records(records, environment=env,
+                                     objective=args.objective)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_budget(report))
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from repro.obs.timeline import render_timeline
+
+    record = _load_records([args.record])[0]
+    print(render_timeline(record, bucket=args.bucket, width=args.width))
+    return 0
+
+
 def cmd_figure(args) -> int:
     from repro.experiments.figures import ALL_FIGURES, Evaluation
 
@@ -290,6 +373,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("quantify", help="run the methodology for versions")
     p.add_argument("versions", nargs="+", metavar="VERSION")
+    p.add_argument("--stages", action="store_true",
+                   help="per-fault 7-stage drill-down in the report")
     _add_common(p, json_flag=True)
     p.set_defaults(fn=cmd_quantify)
 
@@ -329,6 +414,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="callback owners to list")
     _add_common(p, json_flag=True)
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("record",
+                       help="one single-fault experiment captured as a "
+                            "replayable flight-recorder artifact")
+    p.add_argument("version")
+    p.add_argument("fault", choices=[k.value for k in FaultKind])
+    p.add_argument("--target", default=None)
+    p.add_argument("--seed", type=int, default=None,
+                   help="master RNG seed (default: config seed)")
+    p.add_argument("--out", default=None,
+                   help="artifact path (default: "
+                        "results/records/<version>-<fault>.json)")
+    _add_common(p, json_flag=True)
+    p.set_defaults(fn=cmd_record)
+
+    p = sub.add_parser("budget",
+                       help="unavailability error budget from recorded "
+                            "flights, with stage drill-down")
+    p.add_argument("records", nargs="+", metavar="RECORD",
+                   help="flight-recorder artifacts (one version)")
+    p.add_argument("--objective", type=float, default=0.999,
+                   help="availability objective (default 0.999)")
+    p.add_argument("--operator-response", type=float, default=1800.0,
+                   help="stage-E duration assumption (seconds)")
+    p.add_argument("--reset-duration", type=float, default=10.0,
+                   help="stage-F duration assumption (seconds)")
+    _add_common(p, json_flag=True)
+    p.set_defaults(fn=cmd_budget)
+
+    p = sub.add_parser("timeline",
+                       help="ASCII throughput/stage timeline of a "
+                            "recorded flight")
+    p.add_argument("record", metavar="RECORD")
+    p.add_argument("--bucket", type=float, default=5.0,
+                   help="chart bucket width in seconds")
+    p.add_argument("--width", type=int, default=40,
+                   help="bar width in characters")
+    _add_common(p)
+    p.set_defaults(fn=cmd_timeline)
 
     p = sub.add_parser("figure", help="regenerate a paper figure/table")
     p.add_argument("name")

@@ -81,6 +81,8 @@ class VersionAvailability:
     traces: Dict[FaultKind, ExperimentTrace]
     normal_tput: float
     offered_rate: float
+    #: flight records per fault kind (populated by ``keep_records=True``)
+    records: Dict[FaultKind, "FlightRecord"] = field(default_factory=dict)
 
     @property
     def availability(self) -> float:
@@ -89,6 +91,27 @@ class VersionAvailability:
     @property
     def unavailability(self) -> float:
         return self.result.unavailability
+
+    def stage_budget(self, objective: float = 0.999,
+                     environment: Optional[EnvironmentParams] = None):
+        """Roll the fitted templates into an unavailability error budget
+        with stage-level drill-down (see :mod:`repro.obs.budget`)."""
+        from repro.faults.faultload import table1_catalog
+        from repro.obs.budget import build_budget
+
+        catalog = self.spec.transform_catalog(table1_catalog(
+            n_nodes=self.spec.server_count,
+            disks_per_node=2,
+            with_frontend=self.spec.frontend,
+        ))
+        return build_budget(
+            self.templates,
+            catalog,
+            offered_rate=self.offered_rate,
+            version=self.spec.name,
+            environment=environment or EnvironmentParams(),
+            objective=objective,
+        )
 
 
 def measure_fault_free(
@@ -132,8 +155,15 @@ def run_single_fault(
 def quantify_version(
     spec: Union[str, VersionSpec],
     config: QuantifyConfig = QuantifyConfig(),
+    keep_records: bool = False,
 ) -> VersionAvailability:
-    """Run the full two-phase methodology for one version."""
+    """Run the full two-phase methodology for one version.
+
+    With ``keep_records=True`` every phase-1 experiment is additionally
+    captured as a replayable :class:`~repro.obs.recorder.FlightRecord`
+    (returned in ``VersionAvailability.records``), so the campaign can be
+    re-analyzed offline without re-simulating.
+    """
     if isinstance(spec, str):
         spec = version_by_name(spec)
     fitter = TemplateFitter(config.fit)
@@ -145,13 +175,24 @@ def quantify_version(
 
     templates: Dict[FaultKind, SevenStageTemplate] = {}
     traces: Dict[FaultKind, ExperimentTrace] = {}
+    records: Dict[FaultKind, "FlightRecord"] = {}
     normals: List[float] = []
     offered = probe_world.offered_rate
     for kind in list(kinds):
-        trace, _world = run_single_fault(spec, kind, config)
+        trace, world = run_single_fault(spec, kind, config)
         templates[kind] = fitter.fit(trace)
         traces[kind] = trace
         normals.append(trace.normal_tput)
+        if keep_records:
+            from repro.obs.recorder import FlightRecord
+
+            records[kind] = FlightRecord.from_experiment(
+                trace,
+                events=world.telemetry.tracer.events,
+                seed=config.seed,
+                profile=config.profile.name,
+                target=world.default_target(kind),
+            )
 
     normal = sum(normals) / len(normals) if normals else 0.0
     model = AvailabilityModel(catalog, config.environment)
@@ -164,4 +205,5 @@ def quantify_version(
         traces=traces,
         normal_tput=normal,
         offered_rate=offered,
+        records=records,
     )

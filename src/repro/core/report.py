@@ -8,8 +8,13 @@ from repro.core.model import ModelResult
 from repro.faults.types import ALL_FAULT_KINDS, FAULT_LABELS, FaultKind
 
 
-def format_model_result(result: ModelResult) -> str:
-    """One version: availability plus the per-fault-class breakdown."""
+def format_model_result(result: ModelResult, stages: bool = False) -> str:
+    """One version: availability plus the per-fault-class breakdown.
+
+    ``stages=True`` adds the resolved 7-stage drill-down under each fault
+    class (duration and throughput per stage) — the shape the error
+    budget in :mod:`repro.obs.budget` rolls up.
+    """
     lines = [
         f"version {result.version}: availability={result.availability:.5f} "
         f"(unavailability={result.unavailability:.5f}), "
@@ -21,6 +26,14 @@ def format_model_result(result: ModelResult) -> str:
             f"  {c.label:<18} {c.count:>5} {c.fault_fraction:>10.2e} "
             f"{c.degraded_tput:>9.1f} {c.unavailability:>10.2e}"
         )
+        if stages:
+            for name, stage in c.template.stages.items():
+                if stage.duration <= 0:
+                    continue
+                lines.append(
+                    f"      {name}  {stage.duration:>8.1f}s "
+                    f"@ {stage.throughput:>7.1f} req/s ({stage.provenance})"
+                )
     return "\n".join(lines)
 
 

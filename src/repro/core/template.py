@@ -125,6 +125,39 @@ class FitConfig:
     climb_margin: float = 0.04
 
 
+def stabilization_time(
+    series,
+    start: float,
+    end: float,
+    target: float,
+    normal: float,
+    config: FitConfig = FitConfig(),
+) -> float:
+    """Seconds after ``start`` until the rate settles at ``target``.
+
+    The rate is bucketized; stabilization is the first run of
+    ``stable_buckets`` consecutive buckets within ``stable_band`` of the
+    target (band floor relative to normal throughput keeps the test
+    meaningful when the target is ~0).  Shared by the fitter and the
+    stage-attribution engine (:mod:`repro.obs.attribution`), so both
+    tiers place transient/stable boundaries identically.
+    """
+    if end - start < config.bucket:
+        return 0.0
+    _, rates = series.bucketize(config.bucket, start, end)
+    band = max(config.stable_band * normal,
+               config.stable_band * max(target, 1.0))
+    run = 0
+    for i, rate in enumerate(rates):
+        if abs(rate - target) <= band:
+            run += 1
+            if run >= config.stable_buckets:
+                return max((i + 1 - run) * config.bucket, 0.0)
+        else:
+            run = 0
+    return end - start  # never stabilized inside the window
+
+
 class TemplateFitter:
     """Fits an :class:`ExperimentTrace` to the 7-stage template."""
 
@@ -218,24 +251,5 @@ class TemplateFitter:
         target: float,
         normal: float,
     ) -> float:
-        """Seconds after ``start`` until the rate settles at ``target``.
-
-        The rate is bucketized; stabilization is the first run of
-        ``stable_buckets`` consecutive buckets within ``stable_band`` of
-        the target (band floor relative to normal throughput keeps the
-        test meaningful when the target is ~0).
-        """
-        cfg = self.config
-        if end - start < cfg.bucket:
-            return 0.0
-        _, rates = series.bucketize(cfg.bucket, start, end)
-        band = max(cfg.stable_band * normal, cfg.stable_band * max(target, 1.0))
-        run = 0
-        for i, rate in enumerate(rates):
-            if abs(rate - target) <= band:
-                run += 1
-                if run >= cfg.stable_buckets:
-                    return max((i + 1 - run) * cfg.bucket, 0.0)
-            else:
-                run = 0
-        return end - start  # never stabilized inside the window
+        return stabilization_time(series, start, end, target, normal,
+                                  self.config)

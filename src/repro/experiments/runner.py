@@ -65,6 +65,8 @@ class World:
     sfme: Optional[SfmeMonitor] = None
     reset_downtime: float = 10.0
     telemetry: Telemetry = field(default_factory=Telemetry)
+    #: master RNG seed the world was built with (flight-record provenance)
+    seed: int = 0
 
     def host_by_name(self, name: str) -> Host:
         for host in self.hosts:
@@ -292,4 +294,5 @@ def build_world(
         fme_daemons=fme_daemons,
         sfme=sfme,
         telemetry=telemetry,
+        seed=seed,
     )

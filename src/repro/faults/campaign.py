@@ -43,6 +43,8 @@ class CampaignConfig:
     def __post_init__(self) -> None:
         if self.normal_window > self.warmup:
             raise ValueError("normal_window cannot exceed warmup")
+        if not 0.0 < self.operator_threshold <= 1.0:
+            raise ValueError("operator_threshold must be in (0, 1]")
         for name in ("warmup", "fault_active", "post_repair_observe",
                      "reset_duration", "post_reset_observe"):
             if getattr(self, name) < 0:

@@ -14,6 +14,19 @@ Three pillars (see docs/ARCHITECTURE.md, "Observability"):
 
 :class:`Telemetry` bundles all three per world; JSONL/CSV exporters in
 :mod:`repro.obs.export` round-trip the event stream losslessly.
+
+On top of the raw telemetry sits the availability-accounting tier:
+
+* :class:`FlightRecord` — a versioned, replayable JSON snapshot of one
+  single-fault experiment (:mod:`repro.obs.recorder`);
+* :class:`StageAttributor` — names every lost request-second with a
+  ``(fault, stage, component, cause)`` tuple and cross-checks the stage
+  boundaries against the template fit (:mod:`repro.obs.attribution`);
+* :func:`build_budget` / :func:`budget_from_records` — per-version
+  unavailability error budgets with stage drill-down
+  (:mod:`repro.obs.budget`);
+* :func:`render_timeline` — ASCII throughput/stage timelines
+  (:mod:`repro.obs.timeline`).
 """
 
 from repro.obs.events import EventKind, KNOWN_KINDS, TraceEvent, sanitize
@@ -42,7 +55,63 @@ from repro.obs.metrics import (
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.trace import TracedMarkerLog, Tracer
 
+# The availability-accounting tier (recorder/attribution/budget/timeline)
+# sits ABOVE the core fitting layer, which itself imports the raw
+# telemetry modules through the fault/world builders.  Importing it
+# eagerly here would therefore be cyclic; instead its symbols resolve
+# lazily on first attribute access (PEP 562).
+_ACCOUNTING_EXPORTS = {
+    "AttributionConfig": "repro.obs.attribution",
+    "AttributionReport": "repro.obs.attribution",
+    "BoundaryCheck": "repro.obs.attribution",
+    "LossSlice": "repro.obs.attribution",
+    "STAGE_CAUSES": "repro.obs.attribution",
+    "StageAttributor": "repro.obs.attribution",
+    "BudgetLine": "repro.obs.budget",
+    "BudgetReport": "repro.obs.budget",
+    "budget_from_records": "repro.obs.budget",
+    "build_budget": "repro.obs.budget",
+    "format_budget": "repro.obs.budget",
+    "FlightRecord": "repro.obs.recorder",
+    "SCHEMA_VERSION": "repro.obs.recorder",
+    "read_record": "repro.obs.recorder",
+    "record_flight": "repro.obs.recorder",
+    "write_record": "repro.obs.recorder",
+    "format_attribution": "repro.obs.timeline",
+    "render_timeline": "repro.obs.timeline",
+}
+
+
+def __getattr__(name):
+    module_name = _ACCOUNTING_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
 __all__ = [
+    "AttributionConfig",
+    "AttributionReport",
+    "BoundaryCheck",
+    "BudgetLine",
+    "BudgetReport",
+    "FlightRecord",
+    "LossSlice",
+    "SCHEMA_VERSION",
+    "STAGE_CAUSES",
+    "StageAttributor",
+    "budget_from_records",
+    "build_budget",
+    "format_attribution",
+    "format_budget",
+    "read_record",
+    "record_flight",
+    "render_timeline",
+    "write_record",
     "EventKind",
     "KNOWN_KINDS",
     "TraceEvent",

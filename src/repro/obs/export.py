@@ -141,6 +141,14 @@ def format_metrics(snapshot: List[Dict[str, Any]]) -> str:
             lines.append(f"{series:<52} {record['value']:g} "
                          f"(max {record['max']:g})")
         else:  # histogram
-            lines.append(f"{series:<52} count={record['count']} "
-                         f"sum={record['sum']:.4g}")
+            line = (f"{series:<52} count={record['count']} "
+                    f"sum={record['sum']:.4g}")
+            if "p50" in record:
+                quantiles = " ".join(
+                    f"{q}={record[q]:.4g}" if record[q] != float("inf")
+                    else f"{q}=inf"
+                    for q in ("p50", "p90", "p99")
+                )
+                line += f" {quantiles}"
+            lines.append(line)
     return "\n".join(lines)

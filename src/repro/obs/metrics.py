@@ -126,7 +126,11 @@ class Histogram:
         buckets = {f"{b:g}": c for b, c in zip(self.bounds, self.counts)}
         buckets["+inf"] = self.counts[-1]
         return {"type": "histogram", "name": self.name, "labels": dict(self.labels),
-                "count": self.count, "sum": self.sum, "buckets": buckets}
+                "count": self.count, "sum": self.sum, "buckets": buckets,
+                "mean": self.mean(),
+                "p50": self.quantile(0.50),
+                "p90": self.quantile(0.90),
+                "p99": self.quantile(0.99)}
 
 
 class _NullCounter:

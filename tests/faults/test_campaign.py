@@ -97,6 +97,15 @@ class TestCampaign:
         with pytest.raises(ValueError):
             CampaignConfig(fault_active=-1.0)
 
+    @pytest.mark.parametrize("threshold", [0.0, -0.1, 1.5])
+    def test_operator_threshold_range_checked(self, threshold):
+        with pytest.raises(ValueError, match="operator_threshold"):
+            CampaignConfig(operator_threshold=threshold)
+
+    def test_operator_threshold_bounds_accepted(self):
+        assert CampaignConfig(operator_threshold=1.0).operator_threshold == 1.0
+        assert CampaignConfig(operator_threshold=0.01).operator_threshold == 0.01
+
     def test_t_detect_uses_first_marker_after_injection(self, env, cfg):
         world = ScriptedWorld(env)
         world.markers.mark(5.0, "detected", "stale")

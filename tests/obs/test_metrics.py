@@ -134,3 +134,39 @@ class TestMetricsHub:
         assert h.bounds == (1.0, 2.0)
         default = hub.histogram("lat2")
         assert default.bounds == DEFAULT_BUCKETS
+
+
+class TestHistogramQuantileSnapshot:
+    """p50/p90/p99 ride along in snapshots (the `repro metrics` view)."""
+
+    def test_snapshot_carries_quantiles(self):
+        h = Histogram("lat", {}, buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.5, 0.5, 3.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["mean"] == pytest.approx(1.125)
+        assert snap["p50"] == 1.0
+        assert snap["p90"] == 4.0
+        assert snap["p99"] == 4.0
+
+    def test_empty_histogram_quantiles_are_zero(self):
+        snap = Histogram("lat", {}).snapshot()
+        assert (snap["mean"], snap["p50"], snap["p90"], snap["p99"]) == \
+            (0.0, 0.0, 0.0, 0.0)
+
+    def test_format_includes_quantiles(self):
+        from repro.obs.export import format_metrics
+
+        hub = MetricsHub()
+        hub.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        text = format_metrics(hub.snapshot())
+        assert "p50=1" in text
+        assert "p99=1" in text
+
+    def test_format_overflow_quantile_is_inf(self):
+        from repro.obs.export import format_metrics
+
+        hub = MetricsHub()
+        hub.histogram("lat", buckets=(1.0,)).observe(5.0)
+        text = format_metrics(hub.snapshot())
+        assert "p99=inf" in text

@@ -1,0 +1,61 @@
+"""ASCII timeline rendering of recorded flights."""
+
+import pytest
+
+from repro.obs.attribution import StageAttributor
+from repro.obs.timeline import format_attribution, render_timeline
+
+from tests.obs.synth import standard_detected_record
+
+
+class TestRenderTimeline:
+    def test_chart_has_stage_bands_and_marks(self):
+        record = standard_detected_record()
+        text = render_timeline(record, bucket=5.0)
+        assert "SYNTH / node_crash @ n1" in text
+        assert "INJECT" in text
+        assert "DETECT" in text
+        assert "REPAIR" in text
+        # stage letters appear as band labels
+        for stage in ("A", "C", "D"):
+            assert any(line.rstrip().endswith(stage) or f" {stage} " in line
+                       for line in text.splitlines())
+
+    def test_reuses_supplied_report(self):
+        record = standard_detected_record()
+        report = StageAttributor().attribute(record)
+        text = render_timeline(record, report=report)
+        assert f"{report.coverage * 100:.1f}%" in text
+
+    def test_width_and_bucket_knobs(self):
+        record = standard_detected_record()
+        narrow = render_timeline(record, bucket=10.0, width=10)
+        assert "###########" not in narrow  # bars capped at width 10
+        with pytest.raises(ValueError):
+            render_timeline(record, bucket=0.0)
+
+    def test_includes_attribution_table(self):
+        text = render_timeline(standard_detected_record())
+        assert "lost req-s" in text
+        assert "fit cross-check" in text
+
+
+class TestFormatAttribution:
+    def test_table_lists_every_slice(self):
+        record = standard_detected_record()
+        report = StageAttributor().attribute(record)
+        text = format_attribution(report)
+        for s in report.slices:
+            assert s.cause in text
+        assert "attributed" in text
+
+    def test_disagreement_is_flagged(self):
+        record = standard_detected_record()
+        report = StageAttributor().attribute(record)
+        # force a fake disagreement
+        from repro.obs.attribution import BoundaryCheck
+
+        report.checks.append(BoundaryCheck("G", 10.0, 0.0, 1.0))
+        text = format_attribution(report)
+        assert "DISAGREE" in text
+        assert "(!)" in text
