@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-all bench bench-quick examples clean
+.PHONY: install test test-fast test-all lint sanitize bench bench-quick examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,6 +14,23 @@ test:
 	$(PYTHON) -m pytest tests/ -q
 
 test-all: test
+
+# Static analysis: reprolint always runs (stdlib-only); ruff and mypy run
+# when installed (`pip install -e .[lint]`) and are skipped otherwise so
+# the target works in a bare checkout.
+lint:
+	$(PYTHON) -m repro lint src/repro --strict
+	@$(PYTHON) -c "import ruff" 2>/dev/null \
+		&& $(PYTHON) -m ruff check src tests \
+		|| echo "ruff not installed; skipping (pip install -e .[lint])"
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy \
+		|| echo "mypy not installed; skipping (pip install -e .[lint])"
+
+# Runtime determinism check: the same quick campaign under two
+# PYTHONHASHSEED values must produce identical trace digests.
+sanitize:
+	$(PYTHON) -m repro sanitize --seed 7
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

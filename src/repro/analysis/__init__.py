@@ -1,0 +1,36 @@
+"""Repo-native static analysis and runtime determinism checking.
+
+The availability numbers this repository produces (AT/AA, the 7-stage
+templates, the error budgets) are only evidence if the simulator is
+bit-reproducible and the fault-handling code never silently swallows or
+reorders events.  This package makes those invariants machine-checked:
+
+``reprolint`` (:mod:`repro.analysis.lint`)
+    An AST-based lint pass with repo-specific rules (REP001..REP007)
+    covering wall-clock use, unregistered RNGs, swallowed exceptions,
+    unsafe trace payloads, unordered-iteration hazards, mutable default
+    arguments, and suspicious scheduler delays.
+
+determinism sanitizer (:mod:`repro.analysis.sanitize`)
+    Runs the same campaign twice under different ``PYTHONHASHSEED``
+    values and diffs the chained trace-event digests and final metrics,
+    pinpointing the first diverging event.
+
+Both are wired into the CLI as ``repro lint`` and ``repro sanitize``.
+"""
+
+from repro.analysis.lint import Finding, LintResult, lint_paths, lint_source
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import RULES, Rule, Severity
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "Severity",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

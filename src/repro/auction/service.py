@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import List, Optional
 
 from repro.bookstore.tiers import Dispatcher, Job, TierServer
 from repro.faults.faultload import FaultCatalog, FaultRate, MINUTE, MONTH, WEEK

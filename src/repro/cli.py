@@ -28,6 +28,15 @@ Commands
     Regenerate one of the paper's figures/tables (fig1a..fig10, table1/2).
 ``validate VERSION``
     Empirical model validation under a random fault load.
+``lint [PATH ...]``
+    Repo-native static analysis (reprolint, rules REP001..REP007) over
+    the source tree; ``--format json`` for the CI artifact.
+``sanitize``
+    Runtime determinism check: the same campaign twice under different
+    ``PYTHONHASHSEED`` values; trace digests and metrics must match.
+``digest VERSION FAULT``
+    Fingerprint one run (chained per-event digests) — the worker
+    ``sanitize`` spawns, also useful for manual diffing.
 
 Version names are case-insensitive and accept aliases (``pressha`` is
 the paper's fully-hardened FME configuration).
@@ -38,6 +47,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.quantify import QuantifyConfig, quantify_version, run_single_fault
@@ -336,6 +346,66 @@ def cmd_sensitivity(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.lint import lint_paths
+    from repro.analysis.report import (
+        render_json,
+        render_rules,
+        render_text,
+        write_json,
+    )
+
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        raise SystemExit(f"error: no such path: {', '.join(missing)}")
+    result = lint_paths(args.paths)
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fp:
+            write_json(result, fp)
+    if args.format == "json":
+        print(json.dumps(render_json(result), indent=2, sort_keys=True))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    failed = bool(result.errors) or (args.strict and result.warnings)
+    return 1 if failed else 0
+
+
+def cmd_sanitize(args) -> int:
+    from repro.analysis.sanitize import format_sanitize, run_sanitize
+
+    try:
+        result = run_sanitize(
+            version_name=args.version,
+            fault=args.fault,
+            seed=args.seed,
+            hash_seeds=tuple(args.hash_seeds),
+            quick=not args.full,
+            smoke=args.smoke,
+        )
+    except (RuntimeError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_sanitize(result))
+    return 0 if result.ok else 1
+
+
+def cmd_digest(args) -> int:
+    from repro.analysis.sanitize import campaign_fingerprint
+
+    _version(args.version)  # alias-aware existence check
+    doc = campaign_fingerprint(args.version, args.fault, seed=args.seed,
+                               quick=getattr(args, "quick", False),
+                               smoke=args.smoke)
+    print(json.dumps(doc, sort_keys=True))
+    return 0
+
+
 def cmd_validate(args) -> int:
     from repro.core.validation import validate_model
 
@@ -464,6 +534,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--horizon", type=float, default=7200.0)
     _add_common(p)
     p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("lint",
+                       help="repo-native static analysis "
+                            "(reprolint rules REP001..REP007)")
+    p.add_argument("paths", nargs="*", default=["src/repro"],
+                   help="files or directories to lint (default: src/repro)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report to this file")
+    p.add_argument("--strict", action="store_true",
+                   help="warnings also fail the gate")
+    p.add_argument("--verbose", action="store_true",
+                   help="append each finding's rationale")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule registry and exit")
+    _add_common(p)
+    p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("sanitize",
+                       help="runtime determinism check: same campaign, "
+                            "two PYTHONHASHSEED values, digests must match")
+    p.add_argument("--version", default="coop", dest="version",
+                   help="system version to run (default: coop)")
+    p.add_argument("--fault", default="node_crash",
+                   choices=[k.value for k in FaultKind])
+    p.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    p.add_argument("--hash-seeds", type=int, nargs=2, default=[101, 202],
+                   metavar=("A", "B"),
+                   help="the two PYTHONHASHSEED values (must differ)")
+    p.add_argument("--smoke", action="store_true",
+                   help="short fixed scenario instead of a full campaign")
+    p.add_argument("--full", action="store_true",
+                   help="full-length campaign windows (default: quick)")
+    _add_common(p, json_flag=True)
+    p.set_defaults(fn=cmd_sanitize)
+
+    p = sub.add_parser("digest",
+                       help="fingerprint one run (chained trace-event "
+                            "digests; the sanitize worker)")
+    p.add_argument("version")
+    p.add_argument("fault", nargs="?", default="node_crash",
+                   choices=[k.value for k in FaultKind])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--smoke", action="store_true",
+                   help="short fixed scenario instead of a full campaign")
+    _add_common(p)
+    p.set_defaults(fn=cmd_digest)
 
     p = sub.add_parser("sensitivity",
                        help="rank what-if levers; optionally search a path "

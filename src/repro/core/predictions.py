@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, Mapping
 
-from repro.core.template import STAGE_NAMES, SevenStageTemplate, Stage
+from repro.core.template import SevenStageTemplate
 from repro.experiments.configs import VersionSpec
 from repro.faults.types import FaultKind
 

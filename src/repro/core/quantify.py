@@ -10,7 +10,7 @@ catalog.  This is what the figure-reproduction entry points call.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.core.model import AvailabilityModel, EnvironmentParams, ModelResult
@@ -57,6 +57,12 @@ class QuantifyConfig:
     environment: EnvironmentParams = field(default_factory=EnvironmentParams)
     fit: FitConfig = field(default_factory=FitConfig)
     kinds: Optional[tuple] = None  # default: all injectable
+
+    def __post_init__(self) -> None:
+        # Mirrors RngRegistry: a negative master seed must fail at
+        # configuration time, not deep inside a campaign.
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
 
     @classmethod
     def quick(cls, **overrides) -> "QuantifyConfig":

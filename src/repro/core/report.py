@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.model import ModelResult
-from repro.faults.types import ALL_FAULT_KINDS, FAULT_LABELS, FaultKind
+from repro.faults.types import ALL_FAULT_KINDS, FAULT_LABELS
 
 
 def format_model_result(result: ModelResult, stages: bool = False) -> str:

@@ -15,8 +15,8 @@ the per-stage deficits, we can rank what-if improvements —
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Mapping, Optional
 
 from repro.core.model import AvailabilityModel, EnvironmentParams, ModelResult
 from repro.core.template import SevenStageTemplate

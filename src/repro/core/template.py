@@ -20,10 +20,8 @@ zero duration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
-
-import numpy as np
+from dataclasses import dataclass, replace
+from typing import Dict
 
 from repro.faults.campaign import ExperimentTrace
 

@@ -16,14 +16,14 @@ so validation uses an explicitly synthetic catalog with compressed MTTFs
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.model import AvailabilityModel, EnvironmentParams, ModelResult
 from repro.core.quantify import QuantifyConfig, run_single_fault
 from repro.core.template import TemplateFitter
-from repro.experiments.configs import VersionSpec, version as version_by_name
+from repro.experiments.configs import version as version_by_name
 from repro.experiments.runner import World, build_world
 from repro.faults.faultload import FaultCatalog, FaultRate
 from repro.faults.types import FaultKind

@@ -13,7 +13,7 @@ import csv
 import io
 import json
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Union
 
 from repro.experiments.figures import FigureOutput
 

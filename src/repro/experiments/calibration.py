@@ -12,7 +12,7 @@ to eyeball it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Tuple, Union
 
 from repro.experiments.configs import VersionSpec, version as version_by_name
 from repro.experiments.profiles import SMALL, ScaleProfile

@@ -25,8 +25,8 @@ so they reuse the C-MON runtime and apply
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.faults.faultload import FaultCatalog
 

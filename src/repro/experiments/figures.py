@@ -10,7 +10,7 @@ text rendering.  The benchmark harness prints these.
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.model import AvailabilityModel, ModelResult
@@ -23,10 +23,10 @@ from repro.core.quantify import (
     run_single_fault,
 )
 from repro.core.report import format_comparison
-from repro.core.scaling import ScalingRules, scale_catalog, scale_template
+from repro.core.scaling import scale_catalog, scale_template
 from repro.core.template import STAGE_NAMES
-from repro.experiments.configs import VERSIONS, VersionSpec, version
-from repro.faults.types import ALL_FAULT_KINDS, FAULT_LABELS, FaultKind
+from repro.experiments.configs import version
+from repro.faults.types import FAULT_LABELS, FaultKind
 
 
 @dataclass

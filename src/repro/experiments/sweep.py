@@ -16,8 +16,8 @@ a text rendering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence
 
 from repro.core.quantify import QuantifyConfig
 from repro.experiments.profiles import SMALL, ScaleProfile

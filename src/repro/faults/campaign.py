@@ -21,7 +21,7 @@ The driver expects a *world* object exposing::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.faults.types import FaultComponent, FaultKind

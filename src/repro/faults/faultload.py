@@ -9,7 +9,7 @@ the composite-MTTF model (:mod:`repro.hardware.raid`).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.faults.types import FaultKind
 from repro.hardware.raid import redundant_pair_mttf

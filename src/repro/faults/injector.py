@@ -9,7 +9,7 @@ substrate, matching Mendosus's role as a generic SAN-based test-bed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.faults.types import FaultComponent, FaultKind

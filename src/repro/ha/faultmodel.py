@@ -23,8 +23,8 @@ would differ only in its symptom sources).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import FrozenSet, Optional
+from dataclasses import dataclass
+from typing import FrozenSet
 
 
 class AbstractFault(str, enum.Enum):

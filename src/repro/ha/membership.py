@@ -142,9 +142,9 @@ class MembershipDaemon(NodeService):
         now = self.env.now
         if now - self._last_hb_sent >= cfg.heartbeat_interval:
             self._last_hb_sent = now
-            for nbr in self._neighbors():
+            for nbr in sorted(self._neighbors()):
                 self.mnet.send(self, nbr, "mhb")
-        for nbr in self._neighbors():
+        for nbr in sorted(self._neighbors()):
             last = self._hb_seen.setdefault(nbr, now)
             if now - last > cfg.loss_threshold * cfg.heartbeat_interval:
                 self._begin_exclusion(nbr)
@@ -187,7 +187,7 @@ class MembershipDaemon(NodeService):
             "others": others,
             "deadline": self.env.now + self.config.ack_timeout,
         }
-        for member in others:
+        for member in sorted(others):
             self.mnet.send(self, member, "prepare", {
                 "kind": "remove", "target": target, "version": self.version + 1,
             })
@@ -220,7 +220,7 @@ class MembershipDaemon(NodeService):
         else:  # add
             members = (self.view | {op["target"]}) & (op["acks"] | {self.node_id, op["target"]})
         payload = {"members": sorted(members), "version": op["version"]}
-        for member in members:
+        for member in payload["members"]:
             if member != self.node_id:
                 self.mnet.send(self, member, "commit", payload)
         self._install(members, op["version"])
@@ -246,9 +246,9 @@ class MembershipDaemon(NodeService):
         now = self.env.now
         # Heartbeat-loss counting starts fresh for *new* ring neighbours:
         # they never pointed their heartbeats at us before this view.
-        for nbr in self._neighbors() - old_neighbors:
+        for nbr in sorted(self._neighbors() - old_neighbors):
             self._hb_seen[nbr] = now
-        for nid in dropped:
+        for nid in sorted(dropped):
             self._hb_seen.pop(nid, None)
         self._publish()
         self._g_view_size.set(len(members))
@@ -305,7 +305,7 @@ class MembershipDaemon(NodeService):
             "others": others,
             "deadline": self.env.now + self.config.ack_timeout,
         }
-        for member in others:
+        for member in sorted(others):
             self.mnet.send(self, member, "prepare", {
                 "kind": "add", "target": target, "version": self.version + 1,
             })

@@ -11,7 +11,7 @@ node to the service.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Set
+from typing import Callable, Iterable, Set
 
 from repro.sim.kernel import Environment
 

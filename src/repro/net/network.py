@@ -8,7 +8,7 @@ never affected by them.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.sim.kernel import Environment, Event
 from repro.sim.store import Store

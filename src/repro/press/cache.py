@@ -103,7 +103,7 @@ class CacheDirectory:
 
     def drop_node(self, node_id: int) -> None:
         """Forget everything about an excluded peer."""
-        for fid in self._by_node.pop(node_id, set()):
+        for fid in sorted(self._by_node.pop(node_id, set())):
             holders = self._by_file.get(fid)
             if holders is not None:
                 holders.discard(node_id)
@@ -118,8 +118,13 @@ class CacheDirectory:
     def holders(self, fid: int) -> Set[int]:
         return self._by_file.get(fid, set())
 
-    def files_of(self, node_id: int) -> Set[int]:
-        return set(self._by_node.get(node_id, set()))
+    def files_of(self, node_id: int) -> List[int]:
+        """Sorted file ids the peer is believed to cache.
+
+        Sorted (not a raw set) so callers that iterate or re-broadcast
+        the answer do so in a run-independent order.
+        """
+        return sorted(self._by_node.get(node_id, ()))
 
     def known_nodes(self) -> Set[int]:
         return set(self._by_node.keys())

@@ -319,10 +319,12 @@ class PressServer(NodeService):
             yield from self._to_disk(DiskFetch(req.fid, request=req))
 
     def _pick_service_node(self, fid: int) -> Optional[int]:
-        holders = [
+        # Sorted so equal-load ties break toward the lowest node id on
+        # every run, not by set-iteration order.
+        holders = sorted(
             h for h in self.directory.holders(fid)
             if h != self.node_id and h in self.links
-        ]
+        )
         if not holders:
             return None
         best = min(holders, key=lambda h: self.loads.get(h, 0))
@@ -763,7 +765,7 @@ class PressServer(NodeService):
         if self.node_id not in members:
             return  # our own daemon doesn't (yet) list us; nothing to do
         # NodeOut: peers the membership service dropped.
-        for peer in list(self.coop - members):
+        for peer in sorted(self.coop - members):
             if peer != self.node_id:
                 self._exclude(peer, "membership", announce=False)
         # NodeIn: peers the service lists that we do not cooperate with.

@@ -7,7 +7,7 @@ on a fixed period and expose the result as numpy arrays.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 import numpy as np
 

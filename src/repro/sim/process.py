@@ -55,7 +55,10 @@ class ProcessOwner:
     """
 
     def __init__(self) -> None:
-        self._procs: set = set()
+        # Insertion-ordered set: crash() kills processes in spawn order.
+        # A plain set would iterate in id()-hash order, which varies from
+        # run to run and would leak into the kill/event sequence.
+        self._procs: dict = {}
         self._parked: list = []
         self._frozen = False
         self._owner_alive = True
@@ -74,10 +77,10 @@ class ProcessOwner:
 
     # -- registration -----------------------------------------------------
     def attach(self, proc: "Process") -> None:
-        self._procs.add(proc)
+        self._procs[proc] = None
 
     def detach(self, proc: "Process") -> None:
-        self._procs.discard(proc)
+        self._procs.pop(proc, None)
 
     @property
     def processes(self) -> frozenset:

@@ -14,7 +14,7 @@ that get-with-timeout and process-kill work without leaking slots.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque
 
 from repro.sim.kernel import Environment, Event, SimulationError
 

@@ -17,7 +17,7 @@ Both PRESS server variants and the test doubles in the suite satisfy it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ plus categorized failures.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -16,9 +16,8 @@ methodology requires a stable offered rate, so arrivals are re-timed.)
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 

@@ -1,0 +1,30 @@
+"""REP001 fixture: wall-clock calls in simulated code."""
+
+import time
+from datetime import datetime
+from time import monotonic as mono
+
+
+def bad_time():
+    return time.time()  # BAD REP001
+
+
+def bad_datetime():
+    return datetime.now()  # BAD REP001
+
+
+def bad_from_import():
+    return mono()  # BAD REP001
+
+
+def good_sim_clock(env):
+    return env.now  # GOOD: simulated clock
+
+
+def good_local_shadow():
+    class Clock:
+        def time(self):
+            return 0.0
+
+    clock = Clock()
+    return clock.time()  # GOOD: local object, not the time module

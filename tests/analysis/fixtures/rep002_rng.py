@@ -1,0 +1,35 @@
+"""REP002 fixture: RNGs that bypass the named-stream registry."""
+
+import random
+
+import numpy as np
+from numpy import random as npr
+
+
+def bad_global_random():
+    return random.random()  # BAD REP002
+
+
+def bad_random_choice(items):
+    return random.choice(items)  # BAD REP002
+
+
+def bad_adhoc_default_rng():
+    return np.random.default_rng(42)  # BAD REP002
+
+
+def bad_aliased_numpy_random():
+    return npr.default_rng(7)  # BAD REP002
+
+
+def good_registry_stream(rngs):
+    return rngs.stream("arrivals").exponential(1.0)  # GOOD: named stream
+
+
+def good_local_name():
+    class Jar:
+        def random(self):
+            return 4
+
+    rnd = Jar()
+    return rnd.random()  # GOOD: not the random module

@@ -1,0 +1,44 @@
+"""REP003 fixture: swallowed exceptions in fault handlers."""
+
+
+def bad_bare(queue):
+    try:
+        queue.drain()
+    except:  # BAD REP003 (noqa-style comments intentionally absent)
+        pass
+
+
+def bad_broad_discard(node):
+    try:
+        node.exclude()
+    except Exception:  # BAD REP003
+        return None
+
+
+def bad_bound_but_unused(node):
+    try:
+        node.exclude()
+    except Exception as exc:  # BAD REP003: exc never used
+        return None
+
+
+def good_narrow(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:  # GOOD: narrow
+        return None
+
+
+def good_broad_reraise(node):
+    try:
+        node.exclude()
+    except Exception:  # GOOD: re-raised
+        node.mark_failed()
+        raise
+
+
+def good_broad_used(node, log):
+    try:
+        node.exclude()
+    except Exception as exc:  # GOOD: exception is recorded
+        log.append(exc)

@@ -1,0 +1,50 @@
+"""REP005 fixture: unordered iteration in effectful loops."""
+
+from typing import Set
+
+
+class Daemon:
+    def __init__(self):
+        self.view: Set[int] = {1}
+        self.loads = {}
+
+    def bad_send_loop(self, mnet):
+        for member in self.view - {0}:  # BAD REP005
+            mnet.send(self, member, "prepare")
+
+    def bad_setcall_loop(self, peers, net):
+        for peer in set(peers):  # BAD REP005
+            net.datagram(self, peer, "hb")
+
+    def bad_mutating_loop(self, dropped: Set[int]):
+        for nid in dropped:  # BAD REP005
+            self.loads.pop(nid, None)
+
+    def bad_keys_loop(self, queue):
+        for name in self.loads.keys():  # BAD REP005
+            queue.put(name)
+
+    def bad_popped_set(self, table, node_id, out):
+        for fid in table.pop(node_id, set()):  # BAD REP005
+            out.remove(fid)
+
+    def bad_tiebreak(self, holders: Set[int]):
+        return min(holders, key=lambda h: self.loads.get(h, 0))  # BAD REP005
+
+    def bad_materialize(self, holders: Set[int]):
+        return [h for h in holders if h != 0]  # BAD REP005 (warning)
+
+    def good_sorted_loop(self, mnet):
+        for member in sorted(self.view - {0}):  # GOOD
+            mnet.send(self, member, "prepare")
+
+    def good_pure_read(self, holders: Set[int]):
+        total = 0
+        for h in holders:  # GOOD: order-insensitive reduction over ints
+            total += 1
+        return total
+
+    def good_list_iteration(self, members):
+        ordered = sorted(members)
+        for m in ordered:  # GOOD: sorted first
+            self.loads[m] = 0

@@ -1,0 +1,28 @@
+"""REP006 fixture: mutable default arguments."""
+
+
+def bad_list_default(items=[]):  # BAD REP006
+    items.append(1)
+    return items
+
+
+def bad_dict_default(table={}):  # BAD REP006
+    return table
+
+
+def bad_ctor_default(seen=set()):  # BAD REP006
+    return seen
+
+
+def bad_kwonly_default(*, acc=[]):  # BAD REP006
+    return acc
+
+
+def good_none_default(items=None):
+    if items is None:
+        items = []
+    return items
+
+
+def good_immutable_defaults(count=0, name="x", pair=(1, 2)):
+    return count, name, pair

@@ -1,0 +1,25 @@
+"""REP007 fixture: suspicious scheduler delays."""
+
+
+def bad_negative_timeout(env):
+    return env.timeout(-1.0)  # BAD REP007 (error)
+
+
+def bad_negative_schedule(env, event):
+    env.schedule(event, delay=-0.5)  # BAD REP007 (error)
+
+
+def bad_zero_timeout(env):
+    return env.timeout(0)  # BAD REP007 (warning)
+
+
+def bad_zero_succeed(event):
+    event.succeed(delay=0.0)  # BAD REP007 (warning)
+
+
+def good_positive(env):
+    return env.timeout(0.25)  # GOOD
+
+
+def good_variable(env, delay):
+    return env.timeout(delay)  # GOOD: not a literal

@@ -1,0 +1,19 @@
+"""Suppression fixture: every violation here carries a disable comment."""
+
+import time
+
+
+def suppressed_wallclock():
+    return time.time()  # reprolint: disable=REP001
+
+
+def suppressed_multi(items=[]):  # reprolint: disable=REP006,REP001
+    return items
+
+
+def suppressed_all(table={}):  # reprolint: disable=all
+    return table
+
+
+def unsuppressed(seen=set()):  # a finding must still be reported here
+    return seen

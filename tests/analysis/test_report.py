@@ -1,0 +1,56 @@
+"""Reporter round-trips: text lines, JSON schema, rule docs."""
+
+import io
+import json
+
+from repro.analysis.lint import lint_source
+from repro.analysis.report import (
+    REPORT_SCHEMA_VERSION,
+    render_json,
+    render_rules,
+    render_text,
+    write_json,
+)
+from repro.analysis.rules import RULES
+
+BAD = "def f(xs=[]):\n    return xs\n"
+
+
+class TestReporters:
+    def test_text_report_lists_findings_and_summary(self):
+        result = lint_source(BAD, "pkg/mod.py")
+        text = render_text(result)
+        assert "pkg/mod.py:1:" in text
+        assert "REP006" in text
+        assert "1 error(s)" in text
+
+    def test_clean_text_report(self):
+        result = lint_source("x = 1\n", "pkg/mod.py")
+        text = render_text(result)
+        assert "0 error(s), 0 warning(s)" in text
+
+    def test_json_report_schema(self):
+        result = lint_source(BAD, "pkg/mod.py")
+        doc = render_json(result)
+        assert doc["schema"] == REPORT_SCHEMA_VERSION
+        assert doc["ok"] is False
+        assert doc["errors"] == 1 and doc["warnings"] == 0
+        assert doc["counts"] == {"REP006": 1}
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "REP006"
+        assert finding["path"] == "pkg/mod.py"
+        # must survive a JSON round-trip (CI uploads this as an artifact)
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_write_json(self):
+        buf = io.StringIO()
+        write_json(lint_source(BAD, "m.py"), buf)
+        assert json.loads(buf.getvalue())["errors"] == 1
+
+    def test_rule_docs_cover_every_rule(self):
+        listing = render_rules()
+        for rule_id, rule in RULES.items():
+            assert rule_id in listing
+            assert rule.summary in listing
+        detail = render_rules("REP005")
+        assert "REP005" in detail and RULES["REP005"].rationale in detail

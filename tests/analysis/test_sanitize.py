@@ -1,0 +1,125 @@
+"""Unit tests for the determinism sanitizer's diffing machinery.
+
+The actual double-subprocess check lives in
+tests/integration/test_hashseed_determinism.py; here we exercise the
+fingerprint structure and the comparison logic with synthetic docs.
+"""
+
+import pytest
+
+from repro.analysis.sanitize import (
+    DEFAULT_HASH_SEEDS,
+    campaign_fingerprint,
+    compare_fingerprints,
+    format_sanitize,
+    run_sanitize,
+)
+
+
+def make_doc(events, trace="t" * 64, metrics="m" * 64, timeline=None,
+             **extra):
+    doc = {
+        "schema": 1,
+        "mode": "smoke",
+        "version": "coop",
+        "fault": "node_crash",
+        "seed": 7,
+        "python_hash_seed": "101",
+        "n_events": len(events),
+        "events": events,
+        "trace_digest": trace,
+        "metrics_digest": metrics,
+        "timeline": timeline or {"issued": 10},
+        "digest": "d" * 64,
+    }
+    doc.update(extra)
+    return doc
+
+
+EVS = [{"i": 0, "t": 1.0, "kind": "req_issue", "h": "aaaaaaaaaaaa"},
+       {"i": 1, "t": 2.0, "kind": "req_done", "h": "bbbbbbbbbbbb"}]
+
+
+class TestCompare:
+    def test_identical_fingerprints_match(self):
+        result = compare_fingerprints(make_doc(EVS), make_doc(EVS),
+                                      DEFAULT_HASH_SEEDS)
+        assert result.ok
+        assert result.divergence is None
+        assert result.trace_match and result.metrics_match
+        assert result.timeline_match
+
+    def test_first_divergence_located(self):
+        evs_b = [EVS[0], {"i": 1, "t": 2.0, "kind": "req_done",
+                          "h": "cccccccccccc"}]
+        result = compare_fingerprints(
+            make_doc(EVS), make_doc(evs_b, trace="u" * 64),
+            DEFAULT_HASH_SEEDS)
+        assert not result.ok and not result.trace_match
+        assert result.divergence is not None
+        assert result.divergence.index == 1
+        assert result.divergence.a["h"] == "bbbbbbbbbbbb"
+        assert result.divergence.b["h"] == "cccccccccccc"
+        assert "first divergence at index 1" in result.divergence.describe()
+
+    def test_truncated_stream_divergence(self):
+        result = compare_fingerprints(
+            make_doc(EVS), make_doc(EVS[:1], trace="u" * 64),
+            DEFAULT_HASH_SEEDS)
+        assert result.divergence.index == 1
+        assert result.divergence.b is None
+        assert "<stream ended>" in result.divergence.describe()
+
+    def test_metrics_only_divergence(self):
+        result = compare_fingerprints(
+            make_doc(EVS), make_doc(EVS, metrics="x" * 64),
+            DEFAULT_HASH_SEEDS)
+        assert not result.ok
+        assert result.trace_match and not result.metrics_match
+        assert result.divergence is None
+
+    def test_to_dict_strips_event_streams(self):
+        result = compare_fingerprints(make_doc(EVS), make_doc(EVS),
+                                      DEFAULT_HASH_SEEDS)
+        doc = result.to_dict()
+        assert doc["ok"] is True
+        assert all("events" not in run for run in doc["runs"])
+        assert doc["hash_seeds"] == list(DEFAULT_HASH_SEEDS)
+
+    def test_format_renders_verdict(self):
+        ok = compare_fingerprints(make_doc(EVS), make_doc(EVS),
+                                  DEFAULT_HASH_SEEDS)
+        assert "OK: bit-reproducible" in format_sanitize(ok)
+        bad = compare_fingerprints(
+            make_doc(EVS), make_doc(EVS, metrics="x" * 64),
+            DEFAULT_HASH_SEEDS)
+        assert "FAIL" in format_sanitize(bad)
+        assert "DIVERGE" in format_sanitize(bad)
+
+
+class TestRunSanitize:
+    def test_equal_hash_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_sanitize(hash_seeds=(5, 5))
+
+
+class TestFingerprint:
+    def test_smoke_fingerprint_shape_and_stability(self):
+        a = campaign_fingerprint("coop", "node_crash", seed=3, smoke=True)
+        b = campaign_fingerprint("coop", "node_crash", seed=3, smoke=True)
+        assert a["schema"] == 1 and a["mode"] == "smoke"
+        assert a["n_events"] == len(a["events"]) > 0
+        # in-process, same hash seed: must be bit-identical
+        assert a["trace_digest"] == b["trace_digest"]
+        assert a["metrics_digest"] == b["metrics_digest"]
+        assert a["timeline"] == b["timeline"]
+        # different master seed must move the digest
+        c = campaign_fingerprint("coop", "node_crash", seed=4, smoke=True)
+        assert c["trace_digest"] != a["trace_digest"]
+
+    def test_fingerprint_is_json_safe(self):
+        import json
+
+        doc = campaign_fingerprint("coop", "node_crash", seed=1, smoke=True)
+        round_tripped = json.loads(json.dumps(doc))
+        assert round_tripped["trace_digest"] == doc["trace_digest"]

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.model import AvailabilityModel, EnvironmentParams
-from repro.core.scaling import ScalingRules, scale_template
+from repro.core.scaling import scale_template
 from repro.core.template import STAGE_NAMES, SevenStageTemplate, Stage
 from repro.faults.faultload import FaultCatalog, FaultRate
 from repro.faults.types import FaultKind

@@ -1,0 +1,26 @@
+"""QuantifyConfig construction guards."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import QuantifyConfig
+
+
+class TestSeedValidation:
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            QuantifyConfig(seed=-1)
+
+    def test_negative_seed_rejected_via_quick(self):
+        with pytest.raises(ValueError, match="seed"):
+            QuantifyConfig.quick(seed=-7)
+
+    def test_negative_seed_rejected_via_replace(self):
+        cfg = QuantifyConfig.quick()
+        with pytest.raises(ValueError, match="seed"):
+            dataclasses.replace(cfg, seed=-3)
+
+    def test_zero_and_positive_seeds_accepted(self):
+        assert QuantifyConfig(seed=0).seed == 0
+        assert QuantifyConfig.quick(seed=12345).seed == 12345

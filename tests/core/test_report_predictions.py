@@ -1,13 +1,11 @@
 """Report formatting and the COOP-based prediction rules."""
 
-import pytest
-
 from repro.core.model import AvailabilityModel, EnvironmentParams
 from repro.core.predictions import predict_templates
 from repro.core.report import format_bar, format_comparison, format_model_result
 from repro.core.template import STAGE_NAMES, SevenStageTemplate, Stage
 from repro.experiments.configs import version
-from repro.faults.faultload import FaultCatalog, FaultRate, table1_catalog
+from repro.faults.faultload import table1_catalog
 from repro.faults.types import FaultKind
 
 

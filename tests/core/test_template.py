@@ -1,6 +1,5 @@
 """7-stage template fitting on synthetic throughput timelines."""
 
-import numpy as np
 import pytest
 
 from repro.core.template import (

@@ -9,11 +9,9 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.core.template import FitConfig, TemplateFitter
-from repro.faults.campaign import CampaignConfig, ExperimentTrace
-from repro.faults.types import FaultComponent, FaultKind
+from repro.core.template import TemplateFitter
 from repro.sim.series import MarkerLog
-from tests.core.test_template import make_trace, synth_series
+from tests.core.test_template import make_trace
 
 NORMAL = 100.0
 

@@ -10,7 +10,7 @@ from repro.core.validation import (
     _fault_load_driver,
     validation_catalog,
 )
-from repro.core.model import AvailabilityModel, ModelResult
+from repro.core.model import ModelResult
 from repro.faults.types import FaultKind
 
 

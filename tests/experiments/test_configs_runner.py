@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.configs import VERSIONS, VersionSpec, version
+from repro.experiments.configs import VERSIONS, version
 from repro.experiments.profiles import SMALL, TINY
 from repro.experiments.runner import build_world
 from repro.faults.types import FaultKind

@@ -2,8 +2,6 @@
 
 from dataclasses import replace
 
-import pytest
-
 from repro.experiments.profiles import SMALL
 from repro.experiments.sweep import Sweep, SweepResult, grid
 

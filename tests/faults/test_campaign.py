@@ -6,7 +6,6 @@ from repro.faults.campaign import CampaignConfig, SingleFaultCampaign
 from repro.faults.injector import FaultInjector
 from repro.faults.types import FaultKind
 from repro.hardware.host import Host
-from repro.sim.kernel import Environment
 from repro.sim.series import MarkerLog, ThroughputSeries
 
 

@@ -7,7 +7,6 @@ from repro.faults.types import FaultComponent, FaultKind
 from repro.hardware.disk import Disk, DiskParams
 from repro.hardware.host import Host, NodeService
 from repro.net.network import ClusterNetwork
-from repro.sim.series import MarkerLog
 
 
 class DummyApp(NodeService):

@@ -1,7 +1,5 @@
 """The declarative abstract fault model (Section 4.5)."""
 
-import pytest
-
 from repro.ha.faultmodel import (
     PRESS_FAULT_MODEL,
     AbstractFault,

@@ -1,7 +1,5 @@
 """Membership protocol under adversarial timing."""
 
-import pytest
-
 from repro.ha.membership import (
     MembershipConfig,
     MembershipDaemon,

@@ -7,7 +7,6 @@ from repro.ha.memclient import MembershipClient, SharedView
 from repro.hardware.disk import Disk, DiskParams
 from repro.hardware.host import Host, NodeService
 from repro.sim.kernel import Event
-from repro.sim.store import Store
 
 
 class TestSharedView:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.auction import AuctionConfig, build_auction
+from repro.auction import build_auction
 from repro.faults.types import FaultKind
 
 pytestmark = pytest.mark.slow

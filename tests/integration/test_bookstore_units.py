@@ -1,7 +1,5 @@
 """Bookstore tier mechanics at unit granularity (fast)."""
 
-import pytest
-
 from repro.bookstore.config import BookstoreConfig
 from repro.bookstore.tiers import DbCluster, DbServer, Dispatcher, Job, TierServer
 from repro.hardware.disk import Disk, DiskParams

@@ -1,0 +1,26 @@
+"""Satellite regression test: the campaign trace digest is identical
+across two PYTHONHASHSEED values.
+
+This is the runtime complement to the REP005 lint rule — if any code
+path iterates an unordered container into the event stream, the chained
+digests split and this test names the first diverging event.
+"""
+
+import pytest
+
+from repro.analysis.sanitize import run_sanitize
+
+pytestmark = pytest.mark.slow
+
+
+def test_smoke_scenario_hashseed_invariant():
+    result = run_sanitize(version_name="coop", fault="node_crash", seed=7,
+                          hash_seeds=(1, 4242), smoke=True)
+    detail = "" if result.divergence is None else result.divergence.describe()
+    assert result.trace_match, detail
+    assert result.metrics_match
+    assert result.timeline_match
+    assert result.ok
+    a, b = result.runs
+    assert a["trace_digest"] == b["trace_digest"]
+    assert a["python_hash_seed"] == "1" and b["python_hash_seed"] == "4242"

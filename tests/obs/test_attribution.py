@@ -11,13 +11,7 @@ from repro.obs.attribution import (
 )
 from repro.sim.series import MarkerLog
 
-from tests.obs.synth import (
-    detected_at,
-    make_record,
-    make_trace,
-    standard_detected_record,
-    synth_series,
-)
+from tests.obs.synth import detected_at, make_record, make_trace, standard_detected_record
 
 
 def attribute(record):

@@ -1,9 +1,7 @@
 """Tracer, marker translation, and the MarkerLog facade equivalence."""
 
-import pytest
-
 from repro.faults.types import FaultComponent, FaultKind
-from repro.obs.events import EventKind, KNOWN_KINDS, TraceEvent, marker_event, sanitize
+from repro.obs.events import EventKind, KNOWN_KINDS, marker_event, sanitize
 from repro.obs.trace import TracedMarkerLog, Tracer
 from repro.sim.kernel import Environment
 from repro.sim.series import MarkerLog

@@ -89,13 +89,13 @@ class TestDirectory:
         d.drop_node(1)
         assert d.holders(10) == {2}
         assert d.holders(11) == set()
-        assert d.files_of(1) == set()
+        assert d.files_of(1) == []
 
     def test_replace_node(self):
         d = CacheDirectory()
         d.add(1, 10)
         d.replace_node(1, [20, 21])
-        assert d.files_of(1) == {20, 21}
+        assert d.files_of(1) == [20, 21]
         assert d.holders(10) == set()
 
     def test_known_nodes(self):

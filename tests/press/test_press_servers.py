@@ -4,8 +4,6 @@ These use small purpose-built worlds (not the full experiment profiles)
 so individual mechanisms are observable quickly.
 """
 
-import pytest
-
 from repro.hardware.disk import Disk, DiskParams
 from repro.hardware.host import Host
 from repro.net.network import ClusterNetwork

@@ -1,7 +1,5 @@
 """The base rejoin protocol (Section 3) in detail."""
 
-import pytest
-
 from repro.net.message import Message
 from tests.press.test_press_servers import FAST, build_cluster, submit
 

@@ -1,10 +1,7 @@
 """PRESS dispatch policies: queue monitoring dispositions and warm-up mode."""
 
-import pytest
-
 from repro.net.message import Message
-from repro.press.config import PressConfig
-from repro.press.server import PeerLink, PressServer
+from repro.press.server import PeerLink
 from tests.press.test_press_servers import FAST, build_cluster, submit
 
 QMON = FAST.with_(queue_monitoring=True, qmon_reroute_threshold=4,

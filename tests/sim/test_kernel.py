@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.kernel import NORMAL, URGENT, Environment, Event, SimulationError, Timeout
+from repro.sim.kernel import NORMAL, URGENT, Environment, SimulationError
 
 
 class TestEvent:

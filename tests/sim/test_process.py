@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.sim.kernel import Environment, SimulationError
-from repro.sim.process import KILLED, Interrupt, Process, ProcessOwner
+from repro.sim.kernel import SimulationError
+from repro.sim.process import KILLED, Interrupt, ProcessOwner
 from repro.sim.store import Store
 
 

@@ -104,7 +104,7 @@ class CacheDirectoryMachine(RuleBasedStateMachine):
             expected = {n for n, f in self.model if f == fid}
             assert self.directory.holders(fid) == expected
         for node in range(5):
-            expected = {f for n, f in self.model if n == node}
+            expected = sorted(f for n, f in self.model if n == node)
             assert self.directory.files_of(node) == expected
 
 

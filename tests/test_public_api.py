@@ -52,6 +52,11 @@ def test_headline_symbols():
 
     assert len(VERSIONS) == 13
     assert callable(quantify_version)
+    headline = (AvailabilityModel, QuantifyConfig, SevenStageTemplate,
+                TemplateFitter, SMALL, build_world, version, FaultKind,
+                table1_catalog, PRESS_FAULT_MODEL, FaultModel, PressServer,
+                bootstrap_cluster)
+    assert all(headline)
 
 
 def test_version_string():

@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hardware.host import Host, NodeService
-from repro.sim.store import Store
-from repro.workload.client import ClientConfig, ClientPool, DnsRouter, Request
+from repro.workload.client import ClientConfig, ClientPool, DnsRouter
 from repro.workload.stats import Outcome, RequestStats
 from repro.workload.trace import SyntheticTrace, TraceConfig
 
