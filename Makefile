@@ -20,6 +20,8 @@ test-all: test
 # the target works in a bare checkout.
 lint:
 	$(PYTHON) -m repro lint src/repro --strict
+	$(PYTHON) -m repro lint src/repro --flow \
+		--callgraph-out results/callgraph.json
 	@$(PYTHON) -c "import ruff" 2>/dev/null \
 		&& $(PYTHON) -m ruff check src tests \
 		|| echo "ruff not installed; skipping (pip install -e .[lint])"

@@ -11,24 +11,38 @@ reorders events.  This package makes those invariants machine-checked:
     unsafe trace payloads, unordered-iteration hazards, mutable default
     arguments, and suspicious scheduler delays.
 
+flow analysis (:mod:`repro.analysis.flow`, :mod:`repro.analysis.callgraph`)
+    A whole-program pass over the module/call graph: interprocedural
+    sim-scope propagation for REP001/REP002, message-protocol
+    consistency (REP008..REP010 — kinds sent but never handled, dead
+    handler branches, undispatched droppables), and lost-generator
+    detection (REP011..REP012).
+
 determinism sanitizer (:mod:`repro.analysis.sanitize`)
     Runs the same campaign twice under different ``PYTHONHASHSEED``
     values and diffs the chained trace-event digests and final metrics,
     pinpointing the first diverging event.
 
-Both are wired into the CLI as ``repro lint`` and ``repro sanitize``.
+All are wired into the CLI as ``repro lint`` (``--flow`` for the
+whole-program pass) and ``repro sanitize``.
 """
 
+from repro.analysis.callgraph import CallGraph, build_callgraph
+from repro.analysis.flow import FlowResult, analyze_flow
 from repro.analysis.lint import Finding, LintResult, lint_paths, lint_source
 from repro.analysis.report import render_json, render_text
 from repro.analysis.rules import RULES, Rule, Severity
 
 __all__ = [
+    "CallGraph",
     "Finding",
+    "FlowResult",
     "LintResult",
     "RULES",
     "Rule",
     "Severity",
+    "analyze_flow",
+    "build_callgraph",
     "lint_paths",
     "lint_source",
     "render_json",

@@ -1,0 +1,654 @@
+"""Whole-program module and call-graph builder for ``repro.analysis.flow``.
+
+One parse per module, three passes:
+
+1. **Index** — every module, class (with base names), and function
+   (including methods and nested functions) gets a stable qualified name
+   derived from its path, e.g. ``repro.press.server.PressServer._forward``
+   or ``repro.ha.frontend.FrontEnd.fail.<locals>._takeover``.
+2. **Typing** — a deliberately small type inference: parameter and
+   ``self.attr`` annotations, ``x = ClassName(...)`` constructor
+   assignments, and return annotations of project functions.  Just enough
+   to resolve the attribute calls this codebase actually makes
+   (``self.fabric.control_send(...)``, ``self.mnet.multicast(...)``).
+3. **Edges** — call edges from each function to every project function it
+   can invoke: direct names, ``self`` methods (through project base
+   classes), typed attribute calls, module-alias calls, constructor
+   calls (→ ``__init__``), function objects passed as arguments
+   (callbacks), and — as a last resort — attribute calls whose method
+   name is defined by exactly **one** project class (unique-name CHA).
+
+Every resolved call site is kept (caller, callee, AST node) so the flow
+layer can map arguments onto callee parameters — that is how literal
+message kinds are traced through helpers like ``ClusterFabric.control_send``
+into ``Message(kind=...)``.
+
+The graph is queryable in process and exportable as a stable JSON
+document (``repro lint --flow --callgraph-out graph.json``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+CALLGRAPH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One project function (or method, or nested function)."""
+
+    qualname: str
+    module: str
+    path: str
+    lineno: int
+    end_lineno: int
+    #: parameter names in positional order (``self`` included for methods)
+    params: Tuple[str, ...]
+    is_generator: bool
+    #: unqualified name of the enclosing class, if this is a method
+    class_name: Optional[str]
+    node: ast.AST = field(repr=False, compare=False, hash=False)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    def covers(self, line: int) -> bool:
+        return self.lineno <= line <= self.end_lineno
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One project class: methods, base names, and inferred attr types."""
+
+    qualname: str
+    module: str
+    name: str
+    lineno: int
+    #: base-class names as written (resolved lazily through imports)
+    bases: Tuple[str, ...]
+    #: method name -> function qualname
+    methods: Dict[str, str] = field(hash=False)
+    #: ``self.<attr>`` -> class qualname (from annotations/constructors)
+    attr_types: Dict[str, str] = field(hash=False)
+    node: ast.AST = field(repr=False, compare=False, hash=False)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: who calls whom, and the AST node doing it."""
+
+    caller: str
+    callee: str
+    node: ast.Call = field(repr=False, compare=False, hash=False)
+    path: str = ""
+    #: True when the callee is invoked bound (``obj.m()`` / constructor),
+    #: i.e. the callee's leading ``self`` parameter is implicit.
+    bound: bool = True
+
+
+class CallGraph:
+    """The queryable whole-program graph."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, str] = {}  # module name -> path
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.edges: Dict[str, Set[str]] = {}
+        self.call_sites: List[CallSite] = []
+        self.trees: Dict[str, ast.Module] = {}
+        self.sources: Dict[str, str] = {}  # path -> source text
+        # indexes
+        self.class_by_name: Dict[str, List[str]] = {}
+        self.methods_by_name: Dict[str, List[str]] = {}
+
+    # -- queries ---------------------------------------------------------
+    def callees(self, qualname: str) -> Set[str]:
+        return self.edges.get(qualname, set())
+
+    def functions_in_path(self, path: str) -> List[FunctionInfo]:
+        return [f for f in self.functions.values() if f.path == path]
+
+    def reachable_from(self, seeds: Iterable[str]) -> Set[str]:
+        """BFS closure over call edges (cycle-safe)."""
+        seen: Set[str] = set()
+        frontier = [s for s in seeds if s in self.functions]
+        seen.update(frontier)
+        while frontier:
+            nxt: List[str] = []
+            for fn in frontier:
+                for callee in self.edges.get(fn, ()):
+                    if callee not in seen:
+                        seen.add(callee)
+                        nxt.append(callee)
+            frontier = nxt
+        return seen
+
+    def add_edge(self, caller: str, callee: str, node: ast.Call,
+                 path: str, bound: bool = True) -> None:
+        self.edges.setdefault(caller, set()).add(callee)
+        self.call_sites.append(
+            CallSite(caller=caller, callee=callee, node=node, path=path, bound=bound))
+
+    # -- export ----------------------------------------------------------
+    def to_json(self, sim_seeds: Optional[Set[str]] = None,
+                sim_reachable: Optional[Set[str]] = None) -> dict:
+        seeds = sim_seeds or set()
+        reach = sim_reachable or set()
+        return {
+            "schema": CALLGRAPH_SCHEMA_VERSION,
+            "modules": dict(sorted(self.modules.items())),
+            "functions": [
+                {
+                    "qualname": f.qualname,
+                    "module": f.module,
+                    "path": f.path,
+                    "line": f.lineno,
+                    "generator": f.is_generator,
+                    "class": f.class_name,
+                    "sim_seed": f.qualname in seeds,
+                    "sim_reachable": f.qualname in reach,
+                }
+                for _, f in sorted(self.functions.items())
+            ],
+            "edges": sorted(
+                [caller, callee]
+                for caller, callees in self.edges.items()
+                for callee in callees
+            ),
+        }
+
+    def write_json(self, fp: IO[str], sim_seeds: Optional[Set[str]] = None,
+                   sim_reachable: Optional[Set[str]] = None) -> None:
+        json.dump(self.to_json(sim_seeds, sim_reachable), fp, indent=2,
+                  sort_keys=True)
+        fp.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# module naming
+
+
+def module_name_for(path: str, root: Path) -> str:
+    """Dotted module name for ``path`` rooted at package dir ``root``.
+
+    ``src/repro/press/server.py`` under root ``src/repro`` becomes
+    ``repro.press.server``; a package ``__init__.py`` names the package.
+    """
+    rel = Path(path).resolve().relative_to(root.resolve())
+    parts = [root.name] + list(rel.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _iter_module_files(paths: Sequence[str]) -> List[Tuple[str, Path]]:
+    """(file, package-root) pairs for every ``*.py`` under ``paths``."""
+    out: List[Tuple[str, Path]] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            out.extend((str(f), path) for f in sorted(path.rglob("*.py"))
+                       if "__pycache__" not in f.parts)
+        elif path.suffix == ".py":
+            out.append((str(path), path.parent))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# pass 1: indexing
+
+
+class _ModuleRecord:
+    """Everything pass 2/3 needs to know about one module."""
+
+    def __init__(self, name: str, path: str, tree: ast.Module) -> None:
+        self.name = name
+        self.path = path
+        self.tree = tree
+        self.imports: Dict[str, str] = {}  # alias -> dotted target
+        self.top_functions: Dict[str, str] = {}  # name -> qualname
+        self.top_classes: Dict[str, str] = {}  # name -> class qualname
+
+
+def _annotation_name(ann: Optional[ast.AST]) -> Optional[str]:
+    """The class name an annotation refers to, if it is a simple one.
+
+    Handles ``Host``, ``"Endpoint"`` (string forward refs) and
+    ``Optional[Host]`` / ``mod.Cls``; returns the trailing name.
+    """
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return ann.value.split(".")[-1].strip("'\" ") or None
+    if isinstance(ann, ast.Name):
+        return ann.id
+    if isinstance(ann, ast.Attribute):
+        return ann.attr
+    if isinstance(ann, ast.Subscript) and isinstance(ann.slice, (ast.Name, ast.Constant)):
+        value = ann.value
+        name = _annotation_name(value)
+        if name in ("Optional",):
+            return _annotation_name(ann.slice)
+        return None
+    return None
+
+
+def _param_names(node: ast.AST) -> Tuple[str, ...]:
+    args = getattr(node, "args", None)
+    if args is None:
+        return ()
+    return tuple(a.arg for a in (args.posonlyargs + args.args))
+
+
+def _is_generator(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            # yields inside *nested* functions don't count
+            if _enclosing_function(child) is node:
+                return True
+    return False
+
+
+def _attach_parents(tree: ast.Module) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._cg_parent = node  # type: ignore[attr-defined]
+
+
+def _enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    cur = getattr(node, "_cg_parent", None)
+    while cur is not None:
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return cur
+        cur = getattr(cur, "_cg_parent", None)
+    return None
+
+
+class _Indexer(ast.NodeVisitor):
+    """Pass 1: name every function/class in a module."""
+
+    def __init__(self, record: _ModuleRecord, graph: CallGraph) -> None:
+        self.record = record
+        self.graph = graph
+        self._stack: List[str] = [record.name]
+        self._class_stack: List[Optional[ClassInfo]] = [None]
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.record.imports[alias.asname] = alias.name
+            else:
+                head = alias.name.split(".")[0]
+                self.record.imports[head] = head
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.record.imports[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qualname = f"{self._stack[-1]}.{node.name}"
+        bases = tuple(
+            b for b in (_annotation_name(base) for base in node.bases)
+            if b is not None
+        )
+        info = ClassInfo(
+            qualname=qualname, module=self.record.name, name=node.name,
+            lineno=node.lineno, bases=bases, methods={}, attr_types={},
+            node=node,
+        )
+        self.graph.classes[qualname] = info
+        self.graph.class_by_name.setdefault(node.name, []).append(qualname)
+        if len(self._stack) == 1:
+            self.record.top_classes[node.name] = qualname
+        self._stack.append(qualname)
+        self._class_stack.append(info)
+        self.generic_visit(node)
+        self._class_stack.pop()
+        self._stack.pop()
+
+    def _visit_function(self, node: ast.AST, name: str) -> None:
+        parent = self._stack[-1]
+        in_class = self._class_stack[-1] is not None and parent == \
+            self._class_stack[-1].qualname  # type: ignore[union-attr]
+        qualname = f"{parent}.{name}"
+        cls = self._class_stack[-1]
+        info = FunctionInfo(
+            qualname=qualname,
+            module=self.record.name,
+            path=self.record.path,
+            lineno=getattr(node, "lineno", 0),
+            end_lineno=getattr(node, "end_lineno", getattr(node, "lineno", 0)),
+            params=_param_names(node),
+            is_generator=_is_generator(node),
+            class_name=cls.name if (cls is not None and in_class) else None,
+            node=node,
+        )
+        self.graph.functions[qualname] = info
+        self.graph.methods_by_name.setdefault(name, []).append(qualname)
+        if in_class and cls is not None:
+            cls.methods[name] = qualname
+        elif len(self._stack) == 1:
+            self.record.top_functions[name] = qualname
+        self._stack.append(f"{qualname}.<locals>")
+        self._class_stack.append(None)
+        self.generic_visit(node)
+        self._class_stack.pop()
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+
+# ---------------------------------------------------------------------------
+# pass 2 + 3: typing and edges
+
+
+class _Resolver:
+    """Name/type resolution within one module, shared by passes 2 and 3."""
+
+    def __init__(self, graph: CallGraph, records: Dict[str, _ModuleRecord]) -> None:
+        self.graph = graph
+        self.records = records
+
+    # -- class lookup ----------------------------------------------------
+    def class_named(self, name: str, module: str) -> Optional[str]:
+        """Resolve a bare class name as seen from ``module``."""
+        record = self.records.get(module)
+        if record is not None:
+            if name in record.top_classes:
+                return record.top_classes[name]
+            target = record.imports.get(name)
+            if target is not None and target in self.graph.classes:
+                return target
+            if target is not None:
+                # ``from x import C`` where x re-exports C: match by suffix
+                tail = target.rsplit(".", 1)[-1]
+                for qual in self.graph.class_by_name.get(tail, []):
+                    return qual
+        quals = self.graph.class_by_name.get(name, [])
+        if len(quals) == 1:
+            return quals[0]
+        return None
+
+    def method_of(self, class_qual: str, method: str,
+                  _seen: Optional[Set[str]] = None) -> Optional[str]:
+        """Method lookup through project base classes (simple MRO walk)."""
+        seen = _seen if _seen is not None else set()
+        if class_qual in seen:
+            return None
+        seen.add(class_qual)
+        cls = self.graph.classes.get(class_qual)
+        if cls is None:
+            return None
+        if method in cls.methods:
+            return cls.methods[method]
+        for base in cls.bases:
+            base_qual = self.class_named(base, cls.module)
+            if base_qual is not None:
+                found = self.method_of(base_qual, method, seen)
+                if found is not None:
+                    return found
+        return None
+
+    def function_named(self, name: str, module: str) -> Optional[str]:
+        """Resolve a bare function name as seen from ``module``."""
+        record = self.records.get(module)
+        if record is None:
+            return None
+        if name in record.top_functions:
+            return record.top_functions[name]
+        target = record.imports.get(name)
+        if target is not None and target in self.graph.functions:
+            return target
+        return None
+
+    def return_type(self, func_qual: str) -> Optional[str]:
+        info = self.graph.functions.get(func_qual)
+        if info is None:
+            return None
+        ann = getattr(info.node, "returns", None)
+        name = _annotation_name(ann)
+        if name is None:
+            return None
+        return self.class_named(name, info.module)
+
+
+def _infer_attr_types(graph: CallGraph, records: Dict[str, _ModuleRecord],
+                      resolver: _Resolver) -> None:
+    """Pass 2: fill ``ClassInfo.attr_types`` from annotations and ctors."""
+    for cls in graph.classes.values():
+        for method_qual in cls.methods.values():
+            fn = graph.functions[method_qual]
+            node = fn.node
+            ann_of_param: Dict[str, Optional[str]] = {}
+            args = getattr(node, "args", None)
+            if args is not None:
+                for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                    ann_of_param[arg.arg] = _annotation_name(arg.annotation)
+            for stmt in ast.walk(node):
+                target: Optional[ast.expr] = None
+                value: Optional[ast.expr] = None
+                ann_name: Optional[str] = None
+                if isinstance(stmt, ast.AnnAssign):
+                    target, value = stmt.target, stmt.value
+                    ann_name = _annotation_name(stmt.annotation)
+                elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                type_name: Optional[str] = ann_name
+                if type_name is None and isinstance(value, ast.Name):
+                    type_name = ann_of_param.get(value.id)
+                if type_name is None and isinstance(value, ast.Call) \
+                        and isinstance(value.func, ast.Name):
+                    type_name = value.func.id
+                if type_name is None:
+                    continue
+                qual = resolver.class_named(type_name, cls.module)
+                if qual is not None:
+                    cls.attr_types.setdefault(target.attr, qual)
+
+
+class _EdgeBuilder:
+    """Pass 3: emit call edges for one function."""
+
+    def __init__(self, graph: CallGraph, resolver: _Resolver,
+                 fn: FunctionInfo, record: _ModuleRecord) -> None:
+        self.graph = graph
+        self.resolver = resolver
+        self.fn = fn
+        self.record = record
+        self.local_types: Dict[str, str] = {}
+        self.local_funcs: Dict[str, str] = {}
+        self._collect_locals()
+
+    def _collect_locals(self) -> None:
+        node = self.fn.node
+        args = getattr(node, "args", None)
+        if args is not None:
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                name = _annotation_name(arg.annotation)
+                if name is not None:
+                    qual = self.resolver.class_named(name, self.fn.module)
+                    if qual is not None:
+                        self.local_types[arg.arg] = qual
+        for stmt in self._own_statements():
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.local_funcs[stmt.name] = \
+                    f"{self.fn.qualname}.<locals>.{stmt.name}"
+                continue
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+                ann = _annotation_name(stmt.annotation)
+                if ann is not None and isinstance(target, ast.Name):
+                    qual = self.resolver.class_named(ann, self.fn.module)
+                    if qual is not None:
+                        self.local_types[target.id] = qual
+            if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+                qual = self._type_of_call(value)
+                if qual is not None:
+                    self.local_types[target.id] = qual
+
+    def _own_statements(self) -> Iterable[ast.AST]:
+        """This function's nodes, without descending into nested defs."""
+        stack = list(getattr(self.fn.node, "body", []))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- expression typing -----------------------------------------------
+    def _type_of_call(self, call: ast.Call) -> Optional[str]:
+        """Type of a call expression: a constructed class or a project
+        function's annotated return type."""
+        callee, _bound = self._resolve_call(call)
+        if callee is None:
+            return None
+        if callee.endswith(".__init__"):
+            return callee.rsplit(".", 1)[0]
+        return self.resolver.return_type(callee)
+
+    def _type_of(self, expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and self.fn.class_name is not None:
+                return self.resolver.class_named(self.fn.class_name, self.fn.module)
+            return self.local_types.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._type_of(expr.value)
+            if base is not None:
+                cls = self.graph.classes.get(base)
+                if cls is not None:
+                    return cls.attr_types.get(expr.attr)
+            return None
+        if isinstance(expr, ast.Call):
+            return self._type_of_call(expr)
+        return None
+
+    # -- call resolution ---------------------------------------------------
+    def _resolve_call(self, call: ast.Call) -> Tuple[Optional[str], bool]:
+        """(callee qualname, bound) or (None, True) when unresolvable."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.local_funcs:
+                return self.local_funcs[name], False
+            fn = self.resolver.function_named(name, self.fn.module)
+            if fn is not None:
+                return fn, False
+            cls = self.resolver.class_named(name, self.fn.module)
+            if cls is not None:
+                init = self.resolver.method_of(cls, "__init__")
+                return init, True
+            return None, True
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            # Class.method(...) unbound
+            if isinstance(func.value, ast.Name):
+                cls = self.resolver.class_named(func.value.id, self.fn.module)
+                if cls is not None and func.value.id not in self.local_types \
+                        and func.value.id != "self":
+                    method = self.resolver.method_of(cls, attr)
+                    if method is not None:
+                        return method, False
+                # module_alias.func(...)
+                target = self.record.imports.get(func.value.id)
+                if target is not None:
+                    dotted = f"{target}.{attr}"
+                    if dotted in self.graph.functions:
+                        return dotted, False
+                    if dotted in self.graph.classes:
+                        return self.resolver.method_of(dotted, "__init__"), True
+            base_type = self._type_of(func.value)
+            if base_type is not None:
+                method = self.resolver.method_of(base_type, attr)
+                if method is not None:
+                    return method, True
+            # unique-name CHA fallback: one project class defines ``attr``
+            candidates = [
+                q for q in self.graph.methods_by_name.get(attr, [])
+                if self.graph.functions[q].class_name is not None
+            ]
+            owners = {q.rsplit(".", 1)[0] for q in candidates}
+            if len(owners) == 1 and candidates:
+                return candidates[0], True
+        return None, True
+
+    def build(self) -> None:
+        for node in self._own_statements():
+            if not isinstance(node, ast.Call):
+                continue
+            callee, bound = self._resolve_call(node)
+            if callee is not None and callee in self.graph.functions:
+                self.graph.add_edge(self.fn.qualname, callee, node,
+                                    self.fn.path, bound=bound)
+            # callbacks: function objects passed as arguments
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                ref = self._resolve_reference(arg)
+                if ref is not None:
+                    self.graph.add_edge(self.fn.qualname, ref, node,
+                                        self.fn.path, bound=True)
+
+    def _resolve_reference(self, expr: ast.AST) -> Optional[str]:
+        """A function *object* (not a call): local def, module function,
+        or ``self._method`` passed as a callback."""
+        if isinstance(expr, ast.Name):
+            if expr.id in self.local_funcs:
+                return self.local_funcs[expr.id]
+            fn = self.resolver.function_named(expr.id, self.fn.module)
+            if fn is not None:
+                return fn
+            return None
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name) \
+                and expr.value.id == "self" and self.fn.class_name is not None:
+            cls = self.resolver.class_named(self.fn.class_name, self.fn.module)
+            if cls is not None:
+                return self.resolver.method_of(cls, expr.attr)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# entry point
+
+
+def build_callgraph(paths: Sequence[str]) -> CallGraph:
+    """Parse every module under ``paths`` and build the call graph."""
+    graph = CallGraph()
+    records: Dict[str, _ModuleRecord] = {}
+    for file_path, root in _iter_module_files(paths):
+        source = Path(file_path).read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=file_path)
+        _attach_parents(tree)
+        name = module_name_for(file_path, root)
+        record = _ModuleRecord(name, file_path, tree)
+        records[name] = record
+        graph.modules[name] = file_path
+        graph.trees[name] = tree
+        graph.sources[file_path] = source
+        _Indexer(record, graph).visit(tree)
+    resolver = _Resolver(graph, records)
+    _infer_attr_types(graph, records, resolver)
+    for record in records.values():
+        for fn in list(graph.functions.values()):
+            if fn.module != record.name:
+                continue
+            _EdgeBuilder(graph, resolver, fn, record).build()
+    return graph

@@ -1,0 +1,569 @@
+"""Whole-program flow analysis: the engine behind ``repro lint --flow``.
+
+Built on the call graph from :mod:`repro.analysis.callgraph`, this module
+implements the three interprocedural checks reprolint's one-function-at-a-
+time engine cannot do:
+
+* **Sim-scope propagation** — seed every function defined under a
+  simulation package dir (the old path-suffix heuristic) and close over
+  call edges.  REP001/REP002 then fire on any function *reachable from*
+  simulation code, e.g. an ``obs/`` helper invoked from a sim process.
+  The result is by construction a superset of the path heuristic; the
+  difference is reported as ``newly_covered``.
+* **Message-protocol consistency** (REP008–REP010) — every literal string
+  that flows into a parameter literally named ``kind`` of a project
+  function (``Message(kind=...)``, ``control_send(dst, "hb")``, ...)
+  counts as *sent*; every ``msg.kind == "..."`` / ``kind in ("...",)``
+  comparison and every ``getattr(self, f"_on_{msg.kind}")`` dispatch
+  counts as *handled*.  Sent-but-never-handled is an ERROR (the message
+  silently vanishes, mimicking a fault); handled-but-never-sent is dead
+  protocol (WARNING); a ``_DROPPABLE`` kind with no dispatch branch is an
+  ERROR (the kind is *always* dropped, not just under overload).
+* **Lost generators** (REP011–REP012) — a generator function called as a
+  bare expression statement creates a coroutine and discards it: the
+  protocol step never runs.  Likewise an ``Event`` constructed and never
+  referenced again can never fire.
+
+Known limits (documented in ``docs/ANALYSIS.md``): kinds are matched as
+strings, so two queues carrying disjoint kind subsets are merged into one
+vocabulary; kinds sent from non-literal expressions are counted as
+*dynamic sends* and reported in the JSON summary rather than matched.
+
+Findings respect the same ``# reprolint: disable=REPxxx`` suppressions
+and per-rule path allowlists as the single-file engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    build_callgraph,
+)
+from repro.analysis.lint import (
+    Finding,
+    _suppressions,
+    lint_source,
+    path_is_sim_scope,
+)
+from repro.analysis.rules import RULES, Severity
+
+#: rules whose scope is widened by call-graph propagation
+PROPAGATED_RULES = ("REP001", "REP002")
+
+
+@dataclass(frozen=True)
+class KindSite:
+    """One place a message kind is sent or matched."""
+
+    kind: str
+    path: str
+    line: int
+    col: int
+    #: qualname of the enclosing function, if any
+    func: Optional[str] = None
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow pass learned, for reporters and the CLI."""
+
+    findings: List[Finding]
+    suppressed: int
+    files_scanned: int
+    graph: CallGraph
+    sim_seeds: Set[str]
+    sim_reachable: Set[str]
+    #: sim-reachable functions the path heuristic missed, sorted
+    newly_covered: Tuple[str, ...]
+    sent: Dict[str, List[KindSite]] = field(default_factory=dict)
+    handled: Dict[str, List[KindSite]] = field(default_factory=dict)
+    #: class qualname -> declared droppable kinds
+    droppable: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: send sites whose kind argument is not a literal (unmatchable)
+    dynamic_sends: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "sim_seeds": len(self.sim_seeds),
+            "sim_reachable": len(self.sim_reachable),
+            "newly_covered": list(self.newly_covered),
+            "protocol": {
+                "sent_kinds": sorted(self.sent),
+                "handled_kinds": sorted(self.handled),
+                "droppable": {
+                    cls: list(kinds)
+                    for cls, kinds in sorted(self.droppable.items())
+                },
+                "dynamic_sends": self.dynamic_sends,
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+
+
+def _own_nodes(func_node: ast.AST) -> Iterator[ast.AST]:
+    """A function's nodes, without descending into nested defs."""
+    stack = list(getattr(func_node, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _literal_strings(expr: ast.AST) -> Optional[List[str]]:
+    """String constants of a literal tuple/set/list/frozenset, else None."""
+    if isinstance(expr, (ast.Tuple, ast.Set, ast.List)):
+        out: List[str] = []
+        for elt in expr.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.append(elt.value)
+            else:
+                return None
+        return out
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+            and expr.func.id in ("frozenset", "set", "tuple", "list") \
+            and len(expr.args) == 1:
+        return _literal_strings(expr.args[0])
+    return None
+
+
+def _is_kind_read(expr: ast.AST, aliases: Set[str]) -> bool:
+    """``<x>.kind`` or a name bound from one."""
+    if isinstance(expr, ast.Attribute) and expr.attr == "kind":
+        return True
+    return isinstance(expr, ast.Name) and expr.id in aliases
+
+
+def _kind_aliases(fn: FunctionInfo) -> Set[str]:
+    """Names in ``fn`` that hold a message kind: parameters named ``kind``
+    plus locals assigned from a ``.kind`` attribute."""
+    aliases: Set[str] = {p for p in fn.params if p == "kind"}
+    for node in _own_nodes(fn.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Attribute) \
+                and node.value.attr == "kind":
+            aliases.add(node.targets[0].id)
+    return aliases
+
+
+def _class_qual_of(fn: FunctionInfo) -> Optional[str]:
+    if fn.class_name is None:
+        return None
+    return fn.qualname.rsplit(".", 1)[0]
+
+
+# ---------------------------------------------------------------------------
+# dynamic dispatch:  getattr(self, f"_on_{msg.kind}")
+
+
+def _dispatch_prefix(call: ast.Call) -> Optional[str]:
+    """The constant prefix of a ``getattr(self, f"<prefix>{...kind}")``
+    dynamic-dispatch call, e.g. ``"_on_"``; None if not that shape."""
+    if not (isinstance(call.func, ast.Name) and call.func.id == "getattr"
+            and len(call.args) >= 2):
+        return None
+    target = call.args[1]
+    if not isinstance(target, ast.JoinedStr) or not target.values:
+        return None
+    head = target.values[0]
+    if not (isinstance(head, ast.Constant) and isinstance(head.value, str)):
+        return None
+    has_kind = any(
+        isinstance(part, ast.FormattedValue)
+        and isinstance(part.value, ast.Attribute)
+        and part.value.attr == "kind"
+        for part in target.values
+    )
+    return head.value if has_kind else None
+
+
+def _apply_dynamic_dispatch(
+    graph: CallGraph,
+    handled: Dict[str, List[KindSite]],
+    class_handled: Dict[str, Set[str]],
+) -> None:
+    """Register ``getattr(self, f"_on_{kind}")`` dispatchers: every
+    ``<prefix><kind>`` method of the class becomes a handled kind *and* a
+    call edge (so sim-scope propagation reaches the handlers)."""
+    for fn in list(graph.functions.values()):
+        cls_qual = _class_qual_of(fn)
+        if cls_qual is None:
+            continue
+        cls = graph.classes.get(cls_qual)
+        if cls is None:
+            continue
+        for node in _own_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            prefix = _dispatch_prefix(node)
+            if prefix is None:
+                continue
+            for method_name, method_qual in sorted(cls.methods.items()):
+                if not method_name.startswith(prefix) \
+                        or method_name == prefix:
+                    continue
+                kind = method_name[len(prefix):]
+                site = KindSite(kind=kind, path=fn.path, line=node.lineno,
+                                col=node.col_offset, func=fn.qualname)
+                handled.setdefault(kind, []).append(site)
+                class_handled.setdefault(cls_qual, set()).add(kind)
+                graph.add_edge(fn.qualname, method_qual, node, fn.path,
+                               bound=True)
+
+
+# ---------------------------------------------------------------------------
+# protocol: sent kinds
+
+
+def _kind_param_index(callee: FunctionInfo) -> Optional[int]:
+    try:
+        return callee.params.index("kind")
+    except ValueError:
+        return None
+
+
+def _kind_argument(site: CallSite, callee: FunctionInfo) -> Optional[ast.expr]:
+    """The expression passed for the callee's ``kind`` parameter."""
+    idx = _kind_param_index(callee)
+    if idx is None:
+        return None
+    for kw in site.node.keywords:
+        if kw.arg == "kind":
+            return kw.value
+    if site.bound and callee.params and callee.params[0] == "self":
+        idx -= 1
+    if idx < 0:
+        return None
+    args = site.node.args
+    if any(isinstance(a, ast.Starred) for a in args[: idx + 1]):
+        return None
+    if idx < len(args):
+        return args[idx]
+    return None
+
+
+def _call_matches_callee(site: CallSite) -> bool:
+    """True if ``site.node`` really invokes ``site.callee`` (filters the
+    callback-reference edges, where the callee is an *argument*)."""
+    func = site.node.func
+    tail = site.callee.rsplit(".", 1)[-1]
+    if isinstance(func, ast.Name):
+        return func.id == tail or tail == "__init__"
+    if isinstance(func, ast.Attribute):
+        return func.attr == tail or tail == "__init__"
+    return False
+
+
+def _collect_sent(graph: CallGraph) -> Tuple[Dict[str, List[KindSite]], int]:
+    sent: Dict[str, List[KindSite]] = {}
+    dynamic = 0
+    for site in graph.call_sites:
+        callee = graph.functions.get(site.callee)
+        if callee is None or not _call_matches_callee(site):
+            continue
+        arg = _kind_argument(site, callee)
+        if arg is None:
+            continue
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            ks = KindSite(kind=arg.value, path=site.path,
+                          line=site.node.lineno, col=site.node.col_offset,
+                          func=site.caller)
+            sent.setdefault(arg.value, []).append(ks)
+            continue
+        caller = graph.functions.get(site.caller)
+        if caller is not None and isinstance(arg, ast.Name) \
+                and arg.id in _kind_aliases(caller):
+            continue  # forwarding a kind parameter; upstream site counts
+        dynamic += 1
+    return sent, dynamic
+
+
+# ---------------------------------------------------------------------------
+# protocol: handled kinds and droppable declarations
+
+
+def _collect_handled(
+    graph: CallGraph,
+) -> Tuple[Dict[str, List[KindSite]], Dict[str, Set[str]]]:
+    handled: Dict[str, List[KindSite]] = {}
+    class_handled: Dict[str, Set[str]] = {}
+
+    def register(kind: str, fn: FunctionInfo, node: ast.AST) -> None:
+        site = KindSite(kind=kind, path=fn.path,
+                        line=getattr(node, "lineno", fn.lineno),
+                        col=getattr(node, "col_offset", 0), func=fn.qualname)
+        handled.setdefault(kind, []).append(site)
+        cls_qual = _class_qual_of(fn)
+        if cls_qual is not None:
+            class_handled.setdefault(cls_qual, set()).add(kind)
+
+    for fn in graph.functions.values():
+        aliases = _kind_aliases(fn)
+        for node in _own_nodes(fn.node):
+            if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+                continue
+            op = node.ops[0]
+            left, right = node.left, node.comparators[0]
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                for subj, lit in ((left, right), (right, left)):
+                    if _is_kind_read(subj, aliases) \
+                            and isinstance(lit, ast.Constant) \
+                            and isinstance(lit.value, str):
+                        register(lit.value, fn, node)
+            elif isinstance(op, (ast.In, ast.NotIn)) \
+                    and _is_kind_read(left, aliases):
+                kinds = _literal_strings(right)
+                for kind in kinds or ():
+                    register(kind, fn, node)
+    return handled, class_handled
+
+
+def _collect_droppable(graph: CallGraph) -> Dict[str, Tuple[str, ...]]:
+    """Class-level ``*DROPPABLE*`` constants and their literal kinds."""
+    out: Dict[str, Tuple[str, ...]] = {}
+    for cls in graph.classes.values():
+        for stmt in getattr(cls.node, "body", []):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            if not (isinstance(target, ast.Name)
+                    and "DROPPABLE" in target.id.upper()) or value is None:
+                continue
+            kinds = _literal_strings(value)
+            if kinds:
+                out[cls.qualname] = tuple(kinds)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# lost generators / orphan events
+
+
+def _bare_generator_findings(graph: CallGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int]] = set()
+    for site in graph.call_sites:
+        callee = graph.functions.get(site.callee)
+        if callee is None or not callee.is_generator:
+            continue
+        if not _call_matches_callee(site):
+            continue
+        parent = getattr(site.node, "_cg_parent", None)
+        if not isinstance(parent, ast.Expr):
+            continue
+        key = (site.path, site.node.lineno)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(Finding(
+            rule="REP011", severity=RULES["REP011"].severity,
+            path=site.path, line=site.node.lineno, col=site.node.col_offset,
+            message=(f"generator {callee.name}() called as a bare "
+                     "statement: the process body never runs (wrap in "
+                     "env.process(...) or yield from)"),
+        ))
+    return findings
+
+
+def _is_event_ctor(call: ast.Call, graph: CallGraph,
+                   caller: FunctionInfo) -> bool:
+    """``Event(...)`` — resolved to a project Event class or by bare name."""
+    func = call.func
+    name = func.id if isinstance(func, ast.Name) else \
+        func.attr if isinstance(func, ast.Attribute) else None
+    return name == "Event"
+
+
+def _orphan_event_findings(graph: CallGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    for fn in graph.functions.values():
+        assigned: Dict[str, ast.Call] = {}
+        loads: Set[str] = set()
+        bare: List[ast.Call] = []
+        for node in _own_nodes(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and isinstance(node.value, ast.Call) \
+                    and _is_event_ctor(node.value, graph, fn):
+                assigned[node.targets[0].id] = node.value
+            elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call) \
+                    and _is_event_ctor(node.value, graph, fn):
+                bare.append(node.value)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                loads.add(node.id)
+        for name, call in sorted(assigned.items()):
+            if name not in loads:
+                findings.append(Finding(
+                    rule="REP012", severity=RULES["REP012"].severity,
+                    path=fn.path, line=call.lineno, col=call.col_offset,
+                    message=(f"Event bound to '{name}' is never yielded, "
+                             "succeeded, or referenced again"),
+                ))
+        for call in bare:
+            findings.append(Finding(
+                rule="REP012", severity=RULES["REP012"].severity,
+                path=fn.path, line=call.lineno, col=call.col_offset,
+                message=("Event constructed and immediately discarded: it "
+                         "can never fire"),
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# sim-scope propagation
+
+
+def _propagated_findings(graph: CallGraph,
+                         newly_covered: Sequence[str]) -> List[Finding]:
+    """Re-lint files holding newly covered functions with sim scope forced
+    on, keeping REP001/REP002 findings inside those functions' ranges."""
+    by_path: Dict[str, List[FunctionInfo]] = {}
+    for qual in newly_covered:
+        fn = graph.functions[qual]
+        by_path.setdefault(fn.path, []).append(fn)
+    findings: List[Finding] = []
+    for path, fns in sorted(by_path.items()):
+        source = graph.sources.get(path)
+        if source is None:
+            continue
+        result = lint_source(source, path, is_sim=True)
+        for finding in result.findings:
+            if finding.rule not in PROPAGATED_RULES:
+                continue
+            owner = next((f for f in fns if f.covers(finding.line)), None)
+            if owner is None:
+                continue
+            findings.append(Finding(
+                rule=finding.rule, severity=finding.severity,
+                path=finding.path, line=finding.line, col=finding.col,
+                message=(f"{finding.message} "
+                         f"[sim-reachable via {owner.qualname}]"),
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# suppression / allowlist filtering
+
+
+def _filter(findings: List[Finding], graph: CallGraph) -> Tuple[List[Finding], int]:
+    suppress_cache: Dict[str, Dict[int, Set[str]]] = {}
+    kept: List[Finding] = []
+    dropped = 0
+    for finding in findings:
+        rule = RULES.get(finding.rule)
+        if rule is not None and any(
+                finding.path.endswith(sfx) for sfx in rule.allowlist):
+            dropped += 1
+            continue
+        if finding.path not in suppress_cache:
+            source = graph.sources.get(finding.path, "")
+            suppress_cache[finding.path] = _suppressions(source)
+        ids = suppress_cache[finding.path].get(finding.line, set())
+        if finding.rule in ids or "ALL" in ids:
+            dropped += 1
+        else:
+            kept.append(finding)
+    return kept, dropped
+
+
+# ---------------------------------------------------------------------------
+# entry point
+
+
+def analyze_flow(paths: Sequence[str]) -> FlowResult:
+    """Run the whole-program pass over every module under ``paths``."""
+    graph = build_callgraph(paths)
+
+    handled, class_handled = _collect_handled(graph)
+    # dynamic dispatch adds both handled kinds and call edges, so it must
+    # run before reachability is computed
+    _apply_dynamic_dispatch(graph, handled, class_handled)
+
+    sim_seeds = {
+        qual for qual, fn in graph.functions.items()
+        if path_is_sim_scope(fn.path)
+    }
+    sim_reachable = graph.reachable_from(sim_seeds)
+    newly_covered = tuple(sorted(
+        qual for qual in sim_reachable
+        if not path_is_sim_scope(graph.functions[qual].path)
+    ))
+
+    findings: List[Finding] = []
+    findings.extend(_propagated_findings(graph, newly_covered))
+
+    sent, dynamic_sends = _collect_sent(graph)
+    droppable = _collect_droppable(graph)
+
+    # REP008: sent but matched by no receiver branch anywhere
+    for kind in sorted(set(sent) - set(handled)):
+        for site in sent[kind]:
+            findings.append(Finding(
+                rule="REP008", severity=RULES["REP008"].severity,
+                path=site.path, line=site.line, col=site.col,
+                message=(f"kind '{kind}' is sent here but no receiver "
+                         "matches it: the message vanishes at dispatch"),
+            ))
+
+    # REP009: dispatch branch for a kind nothing constructs (one finding
+    # per kind, at its first branch)
+    for kind in sorted(set(handled) - set(sent)):
+        site = min(handled[kind], key=lambda s: (s.path, s.line))
+        findings.append(Finding(
+            rule="REP009", severity=RULES["REP009"].severity,
+            path=site.path, line=site.line, col=site.col,
+            message=(f"branch matches kind '{kind}' but no sender "
+                     "constructs it: dead protocol"
+                     + (" (dynamic sends present; verify by hand)"
+                        if dynamic_sends else "")),
+        ))
+
+    # REP010: droppable kinds must still have a real dispatch branch in
+    # their class (the droppable check itself is not a handler)
+    for cls_qual, kinds in sorted(droppable.items()):
+        cls = graph.classes[cls_qual]
+        missing = [k for k in kinds
+                   if k not in class_handled.get(cls_qual, set())]
+        for kind in missing:
+            findings.append(Finding(
+                rule="REP010", severity=RULES["REP010"].severity,
+                path=graph.modules.get(cls.module, ""), line=cls.lineno,
+                col=0,
+                message=(f"kind '{kind}' is declared droppable by "
+                         f"{cls.name} but has no dispatch branch: it is "
+                         "always dropped, not just under overload"),
+            ))
+
+    findings.extend(_bare_generator_findings(graph))
+    findings.extend(_orphan_event_findings(graph))
+
+    kept, suppressed = _filter(findings, graph)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return FlowResult(
+        findings=kept,
+        suppressed=suppressed,
+        files_scanned=len(graph.modules),
+        graph=graph,
+        sim_seeds=sim_seeds,
+        sim_reachable=sim_reachable,
+        newly_covered=newly_covered,
+        sent=sent,
+        handled=handled,
+        droppable=droppable,
+        dynamic_sends=dynamic_sends,
+    )

@@ -39,6 +39,9 @@ class Rule:
     #: True if the rule only applies to simulation-reachable code
     #: (sim/press/ha/net/faults/workload/hardware/bookstore/auction).
     sim_only: bool = False
+    #: True if the rule needs the whole-program call graph
+    #: (:mod:`repro.analysis.flow`); these only fire under ``lint --flow``.
+    flow: bool = False
 
 
 RULES: Dict[str, Rule] = {
@@ -138,6 +141,74 @@ RULES: Dict[str, Rule] = {
                 "ordering explicit (priority or a real delay)."
             ),
             sim_only=True,
+        ),
+        Rule(
+            id="REP008",
+            name="unhandled-kind",
+            severity=Severity.ERROR,
+            summary="message kind sent but matched by no receiver branch",
+            rationale=(
+                "A Message(kind=...) with no handler branch anywhere is "
+                "silently dropped at dispatch — indistinguishable from a "
+                "real network fault, so it corrupts the availability "
+                "numbers instead of failing loudly.  This is exactly the "
+                "implicit-cooperation failure mode the paper measures."
+            ),
+            flow=True,
+        ),
+        Rule(
+            id="REP009",
+            name="dead-handler",
+            severity=Severity.WARNING,
+            summary="handler branch for a kind that is never sent",
+            rationale=(
+                "A dispatch branch comparing against a kind no sender "
+                "constructs is dead protocol: either the sender was "
+                "removed and the branch should go, or the kind string is "
+                "misspelled on one side."
+            ),
+            flow=True,
+        ),
+        Rule(
+            id="REP010",
+            name="undispatched-droppable",
+            severity=Severity.ERROR,
+            summary="kind declared droppable but absent from any dispatch branch",
+            rationale=(
+                "Droppable kinds may be shed under overload, but they "
+                "must still have a real handler for the normal path.  A "
+                "droppable kind with no dispatch branch is *always* "
+                "dropped, which under-counts the work the protocol was "
+                "meant to do."
+            ),
+            flow=True,
+        ),
+        Rule(
+            id="REP011",
+            name="lost-generator",
+            severity=Severity.ERROR,
+            summary="generator function called as a bare statement",
+            rationale=(
+                "Calling a sim-process generator without yield from / "
+                "env.process(...) creates the generator object and throws "
+                "it away: the protocol step never executes, yet the code "
+                "reads as if it did.  The scheduler cannot detect this; "
+                "only whole-program analysis can."
+            ),
+            flow=True,
+        ),
+        Rule(
+            id="REP012",
+            name="orphan-event",
+            severity=Severity.WARNING,
+            summary="Event created but never yielded, succeeded, or referenced",
+            rationale=(
+                "An Event that is constructed and never used again can "
+                "never fire its callbacks or wake a waiter — usually a "
+                "refactoring leftover where the succeed()/yield moved "
+                "but the construction stayed."
+            ),
+            flow=True,
         ),
     )
 }

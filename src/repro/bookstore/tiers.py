@@ -154,7 +154,9 @@ class TierServer(NodeService):
             ok = True
             if self.downstream is not None:
                 for _ in range(job.queries):
-                    sub = Job(self.env, "down", queries=1)
+                    # Job.kind is a diagnostic label here — bookstore routing
+                    # is positional (per-tier queue), not kind-dispatched.
+                    sub = Job(self.env, "down", queries=1)  # reprolint: disable=REP008
                     queued = yield from self.downstream.dispatch(sub)
                     if not queued:
                         ok = False
@@ -188,7 +190,8 @@ class WebServer(TierServer):
                  if self.rng is not None else False)
         queries = (self.config.order_queries if order
                    else self.config.browse_queries)
-        job = Job(self.env, "page", queries=queries)
+        # label only; the web tier never dispatches on Job.kind
+        job = Job(self.env, "page", queries=queries)  # reprolint: disable=REP008
 
         def _finish(evt):
             if evt.value and not req.expired:

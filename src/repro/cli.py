@@ -29,8 +29,10 @@ Commands
 ``validate VERSION``
     Empirical model validation under a random fault load.
 ``lint [PATH ...]``
-    Repo-native static analysis (reprolint, rules REP001..REP007) over
-    the source tree; ``--format json`` for the CI artifact.
+    Repo-native static analysis (reprolint, rules REP001..REP012) over
+    the source tree; ``--flow`` adds the whole-program call-graph pass,
+    ``--diff REF`` restricts reporting to files changed since a git ref,
+    ``--format json`` for the CI artifact.
 ``sanitize``
     Runtime determinism check: the same campaign twice under different
     ``PYTHONHASHSEED`` values; trace digests and metrics must match.
@@ -346,6 +348,31 @@ def cmd_sensitivity(args) -> int:
     return 0
 
 
+def _git_changed_files(ref: str) -> List[str]:
+    """``*.py`` paths changed since ``ref`` (per ``git diff --name-only``)."""
+    import subprocess
+
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", ref, "--"],
+        capture_output=True, text=True, check=False,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"error: git diff {ref} failed: {proc.stderr.strip()}")
+    return [ln.strip() for ln in proc.stdout.splitlines()
+            if ln.strip().endswith(".py")]
+
+
+def _restrict_to_changed(paths: List[str], ref: str) -> List[str]:
+    """The requested lint targets, narrowed to files changed since ``ref``."""
+    from repro.analysis.lint import iter_python_files
+
+    wanted = {str(Path(p).resolve()) for p in iter_python_files(paths)}
+    changed = [c for c in _git_changed_files(ref)
+               if Path(c).exists() and str(Path(c).resolve()) in wanted]
+    return sorted(changed)
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.lint import lint_paths
     from repro.analysis.report import (
@@ -361,15 +388,48 @@ def cmd_lint(args) -> int:
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         raise SystemExit(f"error: no such path: {', '.join(missing)}")
-    result = lint_paths(args.paths)
+
+    run_flow = args.flow or bool(args.callgraph_out)
+    changed: Optional[List[str]] = None
+    if args.diff is not None:
+        changed = _restrict_to_changed(args.paths, args.diff)
+
+    lint_targets = args.paths if changed is None else changed
+    result = lint_paths(lint_targets)
+
+    flow = None
+    if run_flow:
+        from repro.analysis.flow import analyze_flow
+        from repro.analysis.lint import Finding, LintResult
+
+        # the graph always spans the full requested tree — a --diff run
+        # narrows which findings are *reported*, not what is analyzed
+        flow = analyze_flow(args.paths)
+        flow_findings: List[Finding] = flow.findings
+        if changed is not None:
+            keep = {str(Path(c).resolve()) for c in changed}
+            flow_findings = [f for f in flow_findings
+                            if str(Path(f.path).resolve()) in keep]
+        merged = sorted(result.findings + flow_findings,
+                        key=lambda f: (f.path, f.line, f.col, f.rule))
+        result = LintResult(findings=merged,
+                            files_scanned=result.files_scanned,
+                            suppressed=result.suppressed + flow.suppressed)
+        if args.callgraph_out:
+            Path(args.callgraph_out).parent.mkdir(parents=True, exist_ok=True)
+            with open(args.callgraph_out, "w", encoding="utf-8") as fp:
+                flow.graph.write_json(fp, sim_seeds=flow.sim_seeds,
+                                      sim_reachable=flow.sim_reachable)
+
     if args.out:
         Path(args.out).parent.mkdir(parents=True, exist_ok=True)
         with open(args.out, "w", encoding="utf-8") as fp:
-            write_json(result, fp)
+            write_json(result, fp, flow=flow)
     if args.format == "json":
-        print(json.dumps(render_json(result), indent=2, sort_keys=True))
+        print(json.dumps(render_json(result, flow=flow), indent=2,
+                         sort_keys=True))
     else:
-        print(render_text(result, verbose=args.verbose))
+        print(render_text(result, verbose=args.verbose, flow=flow))
     failed = bool(result.errors) or (args.strict and result.warnings)
     return 1 if failed else 0
 
@@ -537,7 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("lint",
                        help="repo-native static analysis "
-                            "(reprolint rules REP001..REP007)")
+                            "(reprolint rules REP001..REP012)")
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
     p.add_argument("--format", choices=("text", "json"), default="text")
@@ -549,6 +609,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append each finding's rationale")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule registry and exit")
+    p.add_argument("--flow", action="store_true",
+                   help="whole-program pass: call-graph sim-scope "
+                        "propagation, protocol consistency (REP008-010), "
+                        "lost generators (REP011-012)")
+    p.add_argument("--callgraph-out", default=None, metavar="FILE",
+                   help="write the call graph as JSON (implies --flow)")
+    p.add_argument("--diff", default=None, metavar="GIT_REF",
+                   help="only report findings in files changed since "
+                        "GIT_REF (fast pre-commit mode)")
     _add_common(p)
     p.set_defaults(fn=cmd_lint)
 

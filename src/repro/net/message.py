@@ -1,20 +1,82 @@
-"""Wire messages exchanged inside the cluster."""
+"""Wire messages exchanged inside the cluster.
+
+``WIRE_KINDS`` is the canonical protocol vocabulary: every kind any
+component may put on the wire, grouped by plane.  ``Message.__init__``
+asserts membership, and the whole-program protocol checker
+(:mod:`repro.analysis.flow`, rules REP008–REP010) audits the same set
+statically — so the runtime and the linter cannot drift apart, and a
+misspelled kind fails the instant it is constructed rather than
+vanishing at dispatch.
+"""
 
 from __future__ import annotations
 
 from typing import Any
 
+#: Every kind that may appear on the cluster wire.
+#:
+#: PRESS data plane (peer links):
+#:   ``cache_sync``   directory exchange: cached fids + load sample
+#:   ``fwd_req``      forward a client request to the caching node
+#:   ``fwd_resp``     forwarded-request response (the file comes back)
+#:   ``conn_closed``  synthetic: a peer link was torn down
+#:
+#: PRESS control plane (heartbeat ring / membership):
+#:   ``hb``           ring heartbeat
+#:   ``node_dead``    exclusion notice for a silent node
+#:   ``rejoin``       a recovered node announces itself
+#:   ``config``       membership configuration push
+#:   ``cache_add``    directory delta: node now caches fid
+#:   ``cache_del``    directory delta: node evicted fid
+#:
+#: HA membership protocol (three-round reconfiguration):
+#:   ``mhb``          membership heartbeat
+#:   ``prepare``      round 1: propose a new configuration
+#:   ``ack``          round 2: acknowledge the proposal
+#:   ``commit``       round 3: install the configuration
+#:   ``probe``        liveness probe toward a suspect
+#:   ``join``         multicast solicitation from a joining node
+#:   ``offer``        current member answers a join solicitation
+#:   ``join_req``     joining node requests admission from a member
+#:
+#: Self-delivery (both planes):
+#:   ``tick``         local timer message a daemon posts to its own inbox
+WIRE_KINDS = frozenset(
+    {
+        "cache_sync",
+        "fwd_req",
+        "fwd_resp",
+        "conn_closed",
+        "hb",
+        "node_dead",
+        "rejoin",
+        "config",
+        "cache_add",
+        "cache_del",
+        "mhb",
+        "prepare",
+        "ack",
+        "commit",
+        "probe",
+        "join",
+        "offer",
+        "join_req",
+        "tick",
+    }
+)
+
 
 class Message:
     """A typed intra-cluster message.
 
-    ``kind`` is a short string tag ("hb", "req", "file", "cache_add", ...);
-    ``size`` in bytes feeds the network transfer-time model.
+    ``kind`` must be a member of :data:`WIRE_KINDS`; ``size`` in bytes
+    feeds the network transfer-time model.
     """
 
     __slots__ = ("kind", "src", "dst", "payload", "size")
 
     def __init__(self, kind: str, src: Any, dst: Any, payload: Any = None, size: int = 128):
+        assert kind in WIRE_KINDS, f"unknown wire kind {kind!r}"
         self.kind = kind
         self.src = src
         self.dst = dst

@@ -1,0 +1,26 @@
+"""REP008: a kind is sent but no receiver branch matches it."""
+
+
+class Message:
+    def __init__(self, kind, payload=None):
+        self.kind = kind
+        self.payload = payload
+
+
+class Receiver:
+    def handle(self, msg):
+        if msg.kind == "ping":
+            return "pong"
+        return None
+
+
+def send_ok():
+    return Message("ping")
+
+
+def send_orphan():
+    return Message("orphan")  # BAD REP008
+
+
+def send_orphan_kw():
+    return Message(kind="orphan")  # BAD REP008

@@ -1,0 +1,19 @@
+"""REP009: a handler branch matches a kind nothing constructs."""
+
+
+class Message:
+    def __init__(self, kind):
+        self.kind = kind
+
+
+def send():
+    return Message("ping")
+
+
+class Receiver:
+    def handle(self, msg):
+        if msg.kind == "ping":
+            return 1
+        if msg.kind == "ghost":  # BAD REP009
+            return 2
+        return 0

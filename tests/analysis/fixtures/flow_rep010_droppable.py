@@ -1,0 +1,29 @@
+"""REP010: a droppable kind with no dispatch branch is always dropped."""
+
+
+class Message:
+    def __init__(self, kind):
+        self.kind = kind
+
+
+def send_bulk():
+    return Message("bulk")
+
+
+class Server:  # BAD REP010
+    _DROPPABLE = frozenset({"bulk", "stat"})
+
+    def dispatch(self, msg):
+        kind = msg.kind
+        if kind in self._DROPPABLE and self.overloaded():
+            return None
+        if kind == "bulk":
+            return self.apply(msg)
+        # "stat" has no branch: it is *always* dropped
+        return None
+
+    def overloaded(self):
+        return False
+
+    def apply(self, msg):
+        return msg

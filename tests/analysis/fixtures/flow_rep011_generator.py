@@ -1,0 +1,26 @@
+"""REP011: generator called as a bare statement never runs its body."""
+
+
+def proto_step():
+    yield 1
+    yield 2
+
+
+def broken_driver():
+    proto_step()  # BAD REP011
+    return True
+
+
+def good_driver():
+    yield from proto_step()
+
+
+def good_loop():
+    total = 0
+    for item in proto_step():
+        total += item
+    return total
+
+
+def good_argument(env):
+    env.process(proto_step())

@@ -1,0 +1,29 @@
+"""REP012: an Event never referenced again can never fire."""
+
+
+class Event:
+    def __init__(self, env):
+        self.env = env
+
+    def succeed(self):
+        return self
+
+
+def orphan(env):
+    evt = Event(env)  # BAD REP012
+    return None
+
+
+def discarded(env):
+    Event(env)  # BAD REP012
+
+
+def used(env):
+    evt = Event(env)
+    evt.succeed()
+    return evt
+
+
+def returned(env):
+    evt = Event(env)
+    return evt

@@ -1,0 +1,2 @@
+"""Mini package exercising the call-graph builder (imports, methods,
+constructor assignment, cycles)."""

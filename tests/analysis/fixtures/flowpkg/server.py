@@ -1,0 +1,29 @@
+"""Upper layer: imports transport, typed attribute calls, nested defs."""
+
+from flowpkg.transport import Queue, ping
+
+
+class Server:
+    def __init__(self, inbox: Queue):
+        self.inbox = inbox
+        self.spare = Queue()
+
+    def enqueue(self, item):
+        self.inbox.put(item)
+
+    def flush(self):
+        self.spare.drain()
+
+    def boot(self):
+        def warmup():
+            return ping(3)
+
+        warmup()
+        self.enqueue("hello")
+
+
+def build():
+    q = Queue()
+    server = Server(q)
+    server.boot()
+    return server

@@ -1,0 +1,23 @@
+"""Lower layer: a queue class and mutually recursive helpers (a cycle)."""
+
+
+class Queue:
+    def __init__(self):
+        self.items = []
+
+    def put(self, item):
+        self.items.append(item)
+
+    def drain(self):
+        while self.items:
+            self.items.pop()
+
+
+def ping(n):
+    if n > 0:
+        return pong(n - 1)
+    return 0
+
+
+def pong(n):
+    return ping(n)

@@ -1,0 +1,111 @@
+"""The call-graph builder: module naming, indexing, edge resolution over
+the ``flowpkg`` fixture package, and cycle-safe reachability."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import build_callgraph, module_name_for
+
+FLOWPKG = Path(__file__).parent / "fixtures" / "flowpkg"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_callgraph([str(FLOWPKG)])
+
+
+class TestIndexing:
+    def test_module_naming(self):
+        root = FLOWPKG
+        assert module_name_for(str(FLOWPKG / "server.py"), root) == \
+            "flowpkg.server"
+        assert module_name_for(str(FLOWPKG / "__init__.py"), root) == \
+            "flowpkg"
+
+    def test_modules_indexed(self, graph):
+        assert set(graph.modules) == {
+            "flowpkg", "flowpkg.server", "flowpkg.transport"}
+
+    def test_functions_indexed(self, graph):
+        quals = set(graph.functions)
+        assert "flowpkg.transport.Queue.put" in quals
+        assert "flowpkg.transport.ping" in quals
+        assert "flowpkg.server.Server.boot" in quals
+        # nested functions get a <locals> segment
+        assert "flowpkg.server.Server.boot.<locals>.warmup" in quals
+
+    def test_classes_indexed(self, graph):
+        assert "flowpkg.transport.Queue" in graph.classes
+        cls = graph.classes["flowpkg.transport.Queue"]
+        assert set(cls.methods) == {"__init__", "put", "drain"}
+
+    def test_attr_types_inferred(self, graph):
+        server = graph.classes["flowpkg.server.Server"]
+        # annotated param assigned to self.inbox; ctor assigned to spare
+        assert server.attr_types["inbox"] == "flowpkg.transport.Queue"
+        assert server.attr_types["spare"] == "flowpkg.transport.Queue"
+
+
+class TestEdges:
+    def test_import_resolved_call(self, graph):
+        # warmup() calls ping, imported from flowpkg.transport
+        callees = graph.callees("flowpkg.server.Server.boot.<locals>.warmup")
+        assert "flowpkg.transport.ping" in callees
+
+    def test_typed_attribute_call(self, graph):
+        assert "flowpkg.transport.Queue.put" in \
+            graph.callees("flowpkg.server.Server.enqueue")
+        assert "flowpkg.transport.Queue.drain" in \
+            graph.callees("flowpkg.server.Server.flush")
+
+    def test_self_method_and_nested_call(self, graph):
+        callees = graph.callees("flowpkg.server.Server.boot")
+        assert "flowpkg.server.Server.enqueue" in callees
+        assert "flowpkg.server.Server.boot.<locals>.warmup" in callees
+
+    def test_constructor_edge(self, graph):
+        callees = graph.callees("flowpkg.server.build")
+        assert "flowpkg.transport.Queue.__init__" in callees
+        assert "flowpkg.server.Server.__init__" in callees
+        assert "flowpkg.server.Server.boot" in callees
+
+    def test_cycle_edges(self, graph):
+        assert "flowpkg.transport.pong" in \
+            graph.callees("flowpkg.transport.ping")
+        assert "flowpkg.transport.ping" in \
+            graph.callees("flowpkg.transport.pong")
+
+
+class TestReachability:
+    def test_cycle_safe_bfs(self, graph):
+        reach = graph.reachable_from(["flowpkg.transport.ping"])
+        assert reach == {"flowpkg.transport.ping", "flowpkg.transport.pong"}
+
+    def test_transitive_closure(self, graph):
+        reach = graph.reachable_from(["flowpkg.server.build"])
+        assert "flowpkg.transport.ping" in reach  # build→boot→warmup→ping
+        assert "flowpkg.transport.Queue.put" in reach
+
+    def test_unknown_seed_ignored(self, graph):
+        assert graph.reachable_from(["no.such.function"]) == set()
+
+
+class TestExport:
+    def test_json_covers_every_module(self, graph):
+        doc = graph.to_json()
+        assert set(doc["modules"]) == set(graph.modules)
+        assert len(doc["functions"]) == len(graph.functions)
+        edge_pairs = {(a, b) for a, b in doc["edges"]}
+        assert ("flowpkg.transport.ping", "flowpkg.transport.pong") in \
+            edge_pairs
+
+    def test_json_flags_sim_scope(self, graph):
+        doc = graph.to_json(
+            sim_seeds={"flowpkg.server.build"},
+            sim_reachable={"flowpkg.server.build", "flowpkg.transport.ping"},
+        )
+        by_name = {f["qualname"]: f for f in doc["functions"]}
+        assert by_name["flowpkg.server.build"]["sim_seed"]
+        assert by_name["flowpkg.transport.ping"]["sim_reachable"]
+        assert not by_name["flowpkg.transport.pong"]["sim_reachable"]

@@ -1,0 +1,36 @@
+"""The canonical wire-kind registry and the Message membership assert."""
+
+import pytest
+
+from repro.net.message import WIRE_KINDS, Message
+
+
+class TestWireKinds:
+    def test_registry_is_frozen(self):
+        assert isinstance(WIRE_KINDS, frozenset)
+        assert all(isinstance(k, str) and k for k in WIRE_KINDS)
+
+    def test_known_protocol_planes_present(self):
+        # PRESS data plane
+        assert {"cache_sync", "fwd_req", "fwd_resp", "conn_closed"} <= WIRE_KINDS
+        # PRESS control plane
+        assert {"hb", "node_dead", "rejoin", "config",
+                "cache_add", "cache_del"} <= WIRE_KINDS
+        # HA membership protocol
+        assert {"mhb", "prepare", "ack", "commit", "probe",
+                "join", "offer", "join_req"} <= WIRE_KINDS
+        assert "tick" in WIRE_KINDS
+
+    def test_every_kind_constructs(self):
+        for kind in sorted(WIRE_KINDS):
+            msg = Message(kind, 0, 1)
+            assert msg.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(AssertionError, match="unknown wire kind"):
+            Message("no_such_kind", 0, 1)
+
+    def test_payload_and_size_defaults(self):
+        msg = Message("hb", 0, 1)
+        assert msg.payload is None
+        assert msg.size == 128
