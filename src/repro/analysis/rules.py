@@ -58,6 +58,16 @@ RULES: Dict[str, Rule] = {
                 "host clock, so two runs of the same seed diverge and the "
                 "fitted stage boundaries stop being reproducible."
             ),
+            allowlist=(
+                # The parallel executor is reachable from sim scope via
+                # Sweep.run(jobs=N)'s call edge, but its wall-clock reads
+                # time the *real* worker processes (speedup accounting)
+                # and its one os.environ read is the worker-bootstrap
+                # PYTHONHASHSEED pin check — neither touches simulated
+                # time or per-run results.
+                "parallel/executor.py",
+                "parallel/worker.py",
+            ),
             sim_only=True,
         ),
         Rule(

@@ -5,7 +5,13 @@ Commands
 ``versions``
     List the named system versions and their composition.
 ``quantify VERSION [...]``
-    Run the full two-phase methodology for one or more versions.
+    Run the full two-phase methodology for one or more versions;
+    ``--jobs N`` fans the campaign cells out over N worker processes
+    (byte-identical results, see docs/PERFORMANCE.md), ``--retries K``
+    re-executes cells whose worker crashed.
+``sweep VERSION KNOB VALUE [...]``
+    Vary one profile knob across values and tabulate availability;
+    ``--jobs N`` measures the points in parallel.
 ``inject VERSION FAULT``
     One single-fault experiment with a throughput timeline.
 ``trace VERSION FAULT``
@@ -114,13 +120,38 @@ def cmd_versions(args) -> int:
 def cmd_quantify(args) -> int:
     config = _config(args)
     results = []
-    for name in args.versions:
-        print(f"quantifying {name}...", file=sys.stderr)
-        va = quantify_version(_version(name), config)
-        results.append(va.result)
-        if not args.json:
-            print(format_model_result(va.result, stages=args.stages))
-            print()
+    if args.jobs > 1:
+        from repro.parallel import CellExecutionError, quantify_grid
+
+        specs = [_version(name) for name in args.versions]
+        print(f"quantifying {', '.join(s.name for s in specs)} "
+              f"({args.jobs} workers)...", file=sys.stderr)
+        stats_out = []
+        try:
+            grid = quantify_grid(
+                specs, config, jobs=args.jobs, retries=args.retries,
+                progress=lambda line: print(line, file=sys.stderr),
+                stats_out=stats_out)
+        except (CellExecutionError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}")
+        for spec in specs:
+            va = grid[spec.name]
+            results.append(va.result)
+            if not args.json:
+                print(format_model_result(va.result, stages=args.stages))
+                print()
+        for s in stats_out:
+            print(f"parallel: {s.cells} cells on {s.jobs} workers in "
+                  f"{s.wall_seconds:.1f}s wall ({s.cell_seconds:.1f}s of "
+                  f"cell work, {s.speedup:.2f}x overlap)", file=sys.stderr)
+    else:
+        for name in args.versions:
+            print(f"quantifying {name}...", file=sys.stderr)
+            va = quantify_version(_version(name), config)
+            results.append(va.result)
+            if not args.json:
+                print(format_model_result(va.result, stages=args.stages))
+                print()
     if args.json:
         print(json.dumps([model_result_to_dict(r) for r in results],
                          indent=2, sort_keys=True))
@@ -322,6 +353,77 @@ def cmd_figure(args) -> int:
     return 0
 
 
+# -- sweep command ----------------------------------------------------------
+# Knob appliers and the measurement live at module level so that a
+# parallel sweep (spawn pool) can pickle them; closures cannot cross the
+# process boundary.
+
+def _knob_heartbeat(profile, value):
+    from dataclasses import replace
+
+    return replace(profile, press=profile.press.with_(heartbeat_interval=value))
+
+
+def _knob_cache_files(profile, value):
+    return profile.with_cache_files(int(value))
+
+
+def _knob_disk_queue(profile, value):
+    from dataclasses import replace
+
+    return replace(profile,
+                   press=profile.press.with_(disk_queue_capacity=int(value)))
+
+
+def _knob_coop_rate(profile, value):
+    from dataclasses import replace
+
+    return replace(profile, coop_rate=float(value))
+
+
+#: knob name -> (help text, apply(profile, value) -> profile)
+SWEEP_KNOBS = {
+    "heartbeat": ("heartbeat interval in seconds", _knob_heartbeat),
+    "cache-files": ("per-node cache size in files", _knob_cache_files),
+    "disk-queue": ("disk queue capacity in requests", _knob_disk_queue),
+    "coop-rate": ("offered load for cooperative versions (req/s)",
+                  _knob_coop_rate),
+}
+
+
+def _sweep_availability(version_name: str, config: QuantifyConfig) -> dict:
+    """One sweep point: quantify the version under the varied profile."""
+    va = quantify_version(version(version_name), config)
+    return {
+        "availability": va.availability,
+        "unavailability": va.unavailability,
+        "normal_tput": va.normal_tput,
+    }
+
+
+def cmd_sweep(args) -> int:
+    import functools
+
+    from repro.experiments.sweep import Sweep
+
+    spec = _version(args.version)  # alias-aware existence check
+    _help, apply_fn = SWEEP_KNOBS[args.knob]
+    sweep = Sweep(args.knob, values=args.values, apply=apply_fn,
+                  quick=not args.full, seed=args.seed)
+    measure = functools.partial(_sweep_availability, spec.name)
+    if args.jobs > 1:
+        print(f"sweeping {args.knob} over {len(args.values)} points "
+              f"({args.jobs} workers)...", file=sys.stderr)
+    result = sweep.run(measure, jobs=args.jobs)
+    if args.json:
+        print(json.dumps({"version": spec.name, "sweep": result.name,
+                          "rows": result.rows}, indent=2, sort_keys=True))
+    else:
+        print(f"{spec.name}: {args.knob} sweep")
+        print(result.text())
+    return 0
+
+
 def cmd_sensitivity(args) -> int:
     """Which lever buys the most availability next (Section 8's question)."""
     from repro.core.quantify import quantify_version
@@ -505,8 +607,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("versions", nargs="+", metavar="VERSION")
     p.add_argument("--stages", action="store_true",
                    help="per-fault 7-stage drill-down in the report")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fan campaign cells out over N worker processes "
+                        "(results are byte-identical to --jobs 1)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="re-executions allowed per crashed/failed cell")
     _add_common(p, json_flag=True)
     p.set_defaults(fn=cmd_quantify)
+
+    p = sub.add_parser("sweep",
+                       help="vary one profile knob; tabulate availability")
+    p.add_argument("version")
+    p.add_argument("knob", choices=sorted(SWEEP_KNOBS),
+                   help="; ".join(f"{k}: {h}"
+                                  for k, (h, _) in sorted(SWEEP_KNOBS.items())))
+    p.add_argument("values", nargs="+", type=float, metavar="VALUE")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="measure sweep points on N worker processes")
+    p.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    p.add_argument("--full", action="store_true",
+                   help="full-length campaign windows (default: quick)")
+    _add_common(p, json_flag=True)
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("inject", help="one single-fault experiment")
     p.add_argument("version")

@@ -5,21 +5,40 @@ for every injectable fault kind it builds a fresh deployment, runs a
 single-fault campaign (phase 1), fits the 7-stage template, and finally
 evaluates the analytic model (phase 2) against the version's fault
 catalog.  This is what the figure-reproduction entry points call.
+
+The grid is embarrassingly parallel — phase-1 experiments are
+independent by construction — so the pipeline also exposes a cell-level
+API: :func:`campaign_cells` enumerates the (version, fault, seed) grid
+as picklable :class:`~repro.faults.campaign.CampaignCell` specs,
+:func:`run_cell` executes one cell into a JSON-safe document, and
+:func:`quantify_from_cell_docs` merges documents back into a
+:class:`VersionAvailability` in grid order.  ``quantify_version(...,
+jobs=N)`` fans the cells out over a process pool
+(:mod:`repro.parallel`) and merges deterministically: the result is
+byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.model import AvailabilityModel, EnvironmentParams, ModelResult
 from repro.core.template import FitConfig, SevenStageTemplate, TemplateFitter
 from repro.experiments.configs import VersionSpec, version as version_by_name
 from repro.experiments.profiles import SMALL, ScaleProfile
 from repro.experiments.runner import build_world
-from repro.faults.campaign import CampaignConfig, ExperimentTrace, SingleFaultCampaign
+from repro.faults.campaign import (
+    CampaignCell,
+    CampaignConfig,
+    ExperimentTrace,
+    SingleFaultCampaign,
+)
 from repro.faults.types import FaultKind
+
+#: schema of the JSON-safe cell document :func:`run_cell` produces
+CELL_DOC_SCHEMA = 1
 
 
 def _default_campaign() -> CampaignConfig:
@@ -162,6 +181,9 @@ def quantify_version(
     spec: Union[str, VersionSpec],
     config: QuantifyConfig = QuantifyConfig(),
     keep_records: bool = False,
+    jobs: int = 1,
+    retries: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> VersionAvailability:
     """Run the full two-phase methodology for one version.
 
@@ -169,9 +191,24 @@ def quantify_version(
     captured as a replayable :class:`~repro.obs.recorder.FlightRecord`
     (returned in ``VersionAvailability.records``), so the campaign can be
     re-analyzed offline without re-simulating.
+
+    ``jobs > 1`` fans the per-fault campaign cells out over a spawn-based
+    process pool (:mod:`repro.parallel`) and merges the results in grid
+    order; the merged output is byte-identical to the serial run.
+    ``retries`` re-executes cells whose worker raised or died;
+    ``progress`` receives one line per completed cell.
     """
     if isinstance(spec, str):
         spec = version_by_name(spec)
+    if jobs > 1:
+        # Imported lazily: repro.parallel imports this module.
+        from repro.parallel import run_campaign_cells
+
+        cells = campaign_cells(spec, config)
+        docs = run_campaign_cells(cells, config, jobs=jobs, retries=retries,
+                                  progress=progress)
+        return quantify_from_cell_docs(spec, config, docs,
+                                       keep_records=keep_records)
     fitter = TemplateFitter(config.fit)
 
     # Which kinds exist in this deployment (throwaway world for the query).
@@ -199,6 +236,126 @@ def quantify_version(
                 profile=config.profile.name,
                 target=world.default_target(kind),
             )
+
+    normal = sum(normals) / len(normals) if normals else 0.0
+    model = AvailabilityModel(catalog, config.environment)
+    result = model.evaluate(templates, normal_tput=normal,
+                            offered_rate=offered, version=spec.name)
+    return VersionAvailability(
+        spec=spec,
+        result=result,
+        templates=templates,
+        traces=traces,
+        normal_tput=normal,
+        offered_rate=offered,
+        records=records,
+    )
+
+
+# ---------------------------------------------------------------------------
+# cell-level API (the unit of parallel fan-out)
+
+
+def campaign_cells(
+    spec: Union[str, VersionSpec],
+    config: QuantifyConfig = QuantifyConfig(),
+    start_index: int = 0,
+) -> List[CampaignCell]:
+    """Enumerate one version's phase-1 grid as picklable cell specs.
+
+    Cell order matches the serial loop of :func:`quantify_version` (the
+    deployment's injectable kinds, or ``config.kinds``), so merging cell
+    results in index order reproduces the serial iteration exactly.
+    ``start_index`` offsets the indices when several versions' cells are
+    concatenated into one grid.
+    """
+    if isinstance(spec, str):
+        spec = version_by_name(spec)
+    probe_world = build_world(spec, config.profile, seed=config.seed)
+    kinds = list(config.kinds or probe_world.injectable_kinds())
+    return [
+        CampaignCell(index=start_index + i, version=spec.name,
+                     fault=kind.value, seed=config.seed)
+        for i, kind in enumerate(kinds)
+    ]
+
+
+def run_cell(cell: CampaignCell, config: QuantifyConfig) -> Dict[str, Any]:
+    """Execute one campaign cell and return a JSON-safe cell document.
+
+    The document wraps a full :class:`~repro.obs.recorder.FlightRecord`
+    dict — samples, markers, and structured trace events — so the parent
+    process can re-fit the template, rebuild the trace, and keep the
+    record without ever re-simulating.  This is the function the
+    :mod:`repro.parallel` workers run; it is also the cell half of the
+    serial≡parallel determinism contract (the record replay is lossless,
+    so a merged parallel run fits the same templates as a serial one).
+    """
+    from repro.obs.recorder import FlightRecord
+    from repro.obs.telemetry import Telemetry
+
+    spec = version_by_name(cell.version)
+    if cell.seed != config.seed:
+        config = replace(config, seed=cell.seed)
+    telemetry = Telemetry()
+    trace, world = run_single_fault(spec, cell.kind, config,
+                                    target=cell.target, telemetry=telemetry)
+    record = FlightRecord.from_experiment(
+        trace,
+        events=telemetry.tracer.events,
+        seed=config.seed,
+        profile=config.profile.name,
+        target=cell.target or world.default_target(cell.kind),
+    )
+    return {
+        "schema": CELL_DOC_SCHEMA,
+        "cell": cell.to_dict(),
+        "record": record.to_dict(),
+    }
+
+
+def quantify_from_cell_docs(
+    spec: Union[str, VersionSpec],
+    config: QuantifyConfig,
+    docs: Sequence[Dict[str, Any]],
+    keep_records: bool = False,
+) -> VersionAvailability:
+    """Merge executed cell documents into a :class:`VersionAvailability`.
+
+    ``docs`` must already be in grid (cell-index) order — the executor
+    returns them that way regardless of completion order.  The merge
+    mirrors the serial loop: fit each replayed trace, average the normal
+    throughputs in the same order, then evaluate the analytic model.
+    """
+    from repro.obs.recorder import FlightRecord, merge_records
+
+    if isinstance(spec, str):
+        spec = version_by_name(spec)
+    for doc in docs:
+        schema = int(doc.get("schema", 0))
+        if schema > CELL_DOC_SCHEMA:
+            raise ValueError(
+                f"cell document schema {schema} is newer than supported "
+                f"({CELL_DOC_SCHEMA}); upgrade the tooling")
+    fitter = TemplateFitter(config.fit)
+    probe_world = build_world(spec, config.profile, seed=config.seed)
+    catalog = probe_world.catalog
+    offered = probe_world.offered_rate
+
+    merged = merge_records(
+        [FlightRecord.from_dict(doc["record"]) for doc in docs])
+    templates: Dict[FaultKind, SevenStageTemplate] = {}
+    traces: Dict[FaultKind, ExperimentTrace] = {}
+    records: Dict[FaultKind, "FlightRecord"] = {}
+    normals: List[float] = []
+    for fault, record in merged.items():
+        kind = FaultKind(fault)
+        trace = record.to_trace()
+        templates[kind] = fitter.fit(trace)
+        traces[kind] = trace
+        normals.append(trace.normal_tput)
+        if keep_records:
+            records[kind] = record
 
     normal = sum(normals) / len(normals) if normals else 0.0
     model = AvailabilityModel(catalog, config.environment)

@@ -39,7 +39,18 @@ class SweepResult:
         return [row[metric] for row in self.rows]
 
     def monotone(self, metric: str, increasing: bool = True) -> bool:
+        """Whether ``metric`` is (weakly) monotone across the rows.
+
+        Raises :class:`ValueError` with fewer than two rows: a 0- or
+        1-point sweep has no trend, and the old vacuous ``True`` let
+        ablation assertions pass against an empty table.
+        """
         values = self.column(metric)
+        if len(values) < 2:
+            raise ValueError(
+                f"monotone({metric!r}) needs at least two rows; "
+                f"sweep {self.name!r} has {len(values)}"
+            )
         pairs = zip(values, values[1:])
         if increasing:
             return all(a <= b for a, b in pairs)
@@ -75,11 +86,49 @@ class Sweep:
         make = QuantifyConfig.quick if self.quick else QuantifyConfig
         return make(profile=profile, seed=self.seed)
 
-    def run(self, measure: Measurement) -> SweepResult:
+    def run(self, measure: Measurement, jobs: int = 1) -> SweepResult:
+        """Measure every point; ``jobs > 1`` fans them out in parallel.
+
+        Sweep points are independent (each rebuilds its own world from
+        the sweep seed), so the parallel path runs them on a spawn-based
+        process pool under the same pinned-``PYTHONHASHSEED`` discipline
+        as :mod:`repro.parallel` and collects rows in *value order*,
+        never completion order — a parallel sweep tabulates identically
+        to a serial one.  ``measure`` must then be picklable: a
+        module-level function or a ``functools.partial`` of one.
+        """
+        if jobs > 1:
+            return self._run_parallel(measure, jobs)
         rows: List[Dict[str, Any]] = []
         for value in self.values:
             metrics = measure(self.config_for(value))
             rows.append({self.name: value, **metrics})
+        return SweepResult(self.name, rows)
+
+    def _run_parallel(self, measure: Measurement, jobs: int) -> SweepResult:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Imported lazily: repro.parallel imports repro.core.quantify,
+        # which reaches back into this package's builders.
+        from repro.parallel.executor import pinned_hashseed
+        from repro.parallel.worker import worker_init
+
+        configs = [self.config_for(value) for value in self.values]
+        ctx = multiprocessing.get_context("spawn")
+        with pinned_hashseed():
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(configs)),
+                mp_context=ctx,
+                initializer=worker_init,
+            )
+            try:
+                futures = [pool.submit(measure, cfg) for cfg in configs]
+                results = [f.result() for f in futures]  # value order
+            finally:
+                pool.shutdown()
+        rows = [{self.name: value, **metrics}
+                for value, metrics in zip(self.values, results)]
         return SweepResult(self.name, rows)
 
 

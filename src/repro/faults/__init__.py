@@ -21,7 +21,12 @@ from repro.faults.faultload import (
     YEAR,
 )
 from repro.faults.injector import FaultInjector, ActiveFault
-from repro.faults.campaign import SingleFaultCampaign, ExperimentTrace, CampaignConfig
+from repro.faults.campaign import (
+    SingleFaultCampaign,
+    ExperimentTrace,
+    CampaignCell,
+    CampaignConfig,
+)
 
 __all__ = [
     "FaultKind",
@@ -34,6 +39,7 @@ __all__ = [
     "ActiveFault",
     "SingleFaultCampaign",
     "ExperimentTrace",
+    "CampaignCell",
     "CampaignConfig",
     "SECOND",
     "MINUTE",

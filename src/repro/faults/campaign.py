@@ -21,8 +21,8 @@ The driver expects a *world* object exposing::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
 
 from repro.faults.types import FaultComponent, FaultKind
 from repro.sim.series import MarkerLog, ThroughputSeries
@@ -49,6 +49,54 @@ class CampaignConfig:
                      "reset_duration", "post_reset_observe"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One self-contained cell of a campaign grid: (version, fault, seed).
+
+    Cells are the unit of fan-out for the parallel executor
+    (:mod:`repro.parallel`): every field is a plain value, so a cell
+    pickles cheaply into a spawned worker, and ``index`` fixes the cell's
+    position in the grid — results are merged in index order, never in
+    completion order, which is what keeps a parallel run byte-identical
+    to a serial one.
+    """
+
+    index: int
+    version: str
+    fault: str  # FaultKind value
+    seed: int
+    target: Optional[str] = None  # None: the world's default target
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("cell index must be non-negative")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        FaultKind(self.fault)  # unknown fault values fail at build time
+
+    @property
+    def kind(self) -> FaultKind:
+        return FaultKind(self.fault)
+
+    @property
+    def cell_id(self) -> str:
+        """Stable merge key: grid position plus the cell coordinates."""
+        return f"{self.index:04d}:{self.version}:{self.fault}:{self.seed}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "CampaignCell":
+        return cls(
+            index=int(d["index"]),
+            version=str(d["version"]),
+            fault=str(d["fault"]),
+            seed=int(d["seed"]),
+            target=d.get("target"),
+        )
 
 
 @dataclass

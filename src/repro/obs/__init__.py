@@ -72,8 +72,10 @@ _ACCOUNTING_EXPORTS = {
     "budget_from_records": "repro.obs.budget",
     "build_budget": "repro.obs.budget",
     "format_budget": "repro.obs.budget",
+    "merge_budget_reports": "repro.obs.budget",
     "FlightRecord": "repro.obs.recorder",
     "SCHEMA_VERSION": "repro.obs.recorder",
+    "merge_records": "repro.obs.recorder",
     "read_record": "repro.obs.recorder",
     "record_flight": "repro.obs.recorder",
     "write_record": "repro.obs.recorder",
@@ -108,6 +110,8 @@ __all__ = [
     "build_budget",
     "format_attribution",
     "format_budget",
+    "merge_budget_reports",
+    "merge_records",
     "read_record",
     "record_flight",
     "render_timeline",

@@ -38,7 +38,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, TextIO, Union
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
 
 from repro.faults.campaign import CampaignConfig, ExperimentTrace
 from repro.faults.types import FaultComponent, FaultKind
@@ -211,6 +211,37 @@ def read_record(src: PathOrFile) -> FlightRecord:
         with open(src, "r", encoding="utf-8") as fp:
             return FlightRecord.from_dict(json.load(fp))
     return FlightRecord.from_dict(json.load(src))
+
+
+def merge_records(records: Sequence[FlightRecord]) -> Dict[str, FlightRecord]:
+    """Deterministically merge per-cell records into a fault-keyed map.
+
+    The parallel executor hands records back in cell (grid) order; this
+    keys them by fault kind *preserving that order*, so downstream
+    iteration — template fitting, normal-throughput averaging — walks
+    the same sequence a serial campaign would.  Records must share one
+    system version and one seed, and a duplicated fault kind is an
+    error: a grid never runs the same cell twice, so a duplicate means
+    the caller merged two different campaigns.
+    """
+    merged: Dict[str, FlightRecord] = {}
+    versions = {r.version for r in records}
+    if len(versions) > 1:
+        raise ValueError(
+            f"records span multiple versions {sorted(versions)}; "
+            "merge one version at a time")
+    seeds = {r.seed for r in records}
+    if len(seeds) > 1:
+        raise ValueError(
+            f"records span multiple seeds {sorted(seeds)}; "
+            "a campaign grid runs under one master seed")
+    for record in records:
+        if record.fault in merged:
+            raise ValueError(
+                f"duplicate record for fault {record.fault!r} "
+                f"(version {record.version}, seed {record.seed})")
+        merged[record.fault] = record
+    return merged
 
 
 def record_flight(

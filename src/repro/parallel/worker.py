@@ -1,0 +1,52 @@
+"""Worker-side half of the parallel campaign executor.
+
+Everything here must be importable at module top level: the executor
+uses a **spawn** multiprocessing context, so workers pickle the function
+reference (not a closure) and re-import this module in a fresh
+interpreter.  Keeping the worker surface to two tiny top-level functions
+is what makes :class:`~repro.faults.campaign.CampaignCell` +
+:class:`~repro.core.quantify.QuantifyConfig` the entire cross-process
+contract.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict
+
+from repro.core.quantify import QuantifyConfig, run_cell
+from repro.faults.campaign import CampaignCell
+
+
+def worker_init() -> None:
+    """Spawn-pool initializer: verify the determinism preconditions.
+
+    The parent pins ``PYTHONHASHSEED`` in its environment *before*
+    creating the pool (children read the variable at interpreter
+    startup, so an initializer-time ``os.environ`` write would be too
+    late).  This bootstrap check only *reads* the variable to fail fast
+    if a foreign executor ever runs our workers without the pin — set
+    ordering and iteration in the simulator must not vary per process.
+    """
+    if not os.environ.get("PYTHONHASHSEED"):
+        raise RuntimeError(
+            "PYTHONHASHSEED is not pinned in this worker; campaign cells "
+            "must run under a fixed hash seed (use repro.parallel's "
+            "executor, which exports it before spawning the pool)"
+        )
+
+
+def execute_cell(cell: CampaignCell, config: QuantifyConfig) -> Dict[str, Any]:
+    """Run one campaign cell and wrap its document with wall-time stats.
+
+    The cell document itself (``payload["doc"]``) is exactly what a
+    serial :func:`~repro.core.quantify.run_cell` produces — the timing
+    envelope stays *outside* it so merged artifacts remain byte-identical
+    to a serial run.  Wall time here is real process time (the speedup
+    accounting), not simulated time.
+    """
+    t0 = time.perf_counter()
+    doc = run_cell(cell, config)
+    wall = time.perf_counter() - t0
+    return {"doc": doc, "wall": wall, "pid": os.getpid()}

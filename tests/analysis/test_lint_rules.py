@@ -115,6 +115,16 @@ class TestScopeAndAllowlist:
         for sfx in RULES["REP002"].allowlist:
             assert path_is_sim_scope(f"src/repro/{sfx}") or sfx == "sim/rng.py"
 
+    def test_parallel_executor_allowlisted_for_wallclock(self):
+        # the executor's perf_counter reads time real worker processes
+        # (speedup accounting), reachable from sim scope only through
+        # Sweep.run(jobs=N); the allowlist keeps flow-propagated REP001
+        # findings from flagging them
+        for sfx in ("parallel/executor.py", "parallel/worker.py"):
+            assert sfx in RULES["REP001"].allowlist
+        src = "import time\n\n\ndef f():\n    return time.perf_counter()\n"
+        assert lint_source(src, "src/repro/parallel/executor.py").findings == []
+
     def test_path_classification(self):
         assert path_is_sim_scope("src/repro/press/server.py")
         assert path_is_sim_scope("src/repro/ha/membership.py")

@@ -2,6 +2,8 @@
 
 from dataclasses import replace
 
+import pytest
+
 from repro.experiments.profiles import SMALL
 from repro.experiments.sweep import Sweep, SweepResult, grid
 
@@ -58,6 +60,22 @@ class TestSweep:
     def test_empty(self):
         result = SweepResult("x", [])
         assert "no rows" in result.text()
+
+    def test_monotone_needs_two_rows(self):
+        # a 0/1-point sweep has no trend; the old vacuous True let
+        # ablation assertions pass against an empty table
+        with pytest.raises(ValueError, match="at least two rows"):
+            SweepResult("x", []).monotone("capacity")
+        one = Sweep("cache", values=[60], apply=cache_knob).run(fake_measure)
+        with pytest.raises(ValueError, match="at least two rows"):
+            one.monotone("capacity")
+
+    def test_parallel_rows_match_serial(self):
+        sweep = Sweep("cache", values=[60, 120, 240], apply=cache_knob)
+        serial = sweep.run(fake_measure)
+        parallel = sweep.run(fake_measure, jobs=2)
+        assert parallel.rows == serial.rows
+        assert parallel.text() == serial.text()
 
 
 class TestGrid:

@@ -1,0 +1,187 @@
+"""Executor plumbing: ordering, crash isolation, retries, stats.
+
+The test workers here are module-level functions (the spawn pool pickles
+them by reference) and take the *pass-through* ``config`` slot as a
+scratch-directory path — the executor never introspects the config it
+ships to workers, so the drills stay simulation-free and fast.
+"""
+
+import os
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.faults.campaign import CampaignCell
+from repro.obs.metrics import MetricsHub
+from repro.parallel import (
+    CampaignExecutor,
+    CellExecutionError,
+    ExecutorConfig,
+    pinned_hashseed,
+    run_campaign_cells,
+    worker_init,
+)
+
+
+def cells_for(n):
+    return [CampaignCell(index=i, version="SYNTH", fault="app_crash", seed=0)
+            for i in range(n)]
+
+
+# -- module-level drill workers (picklable into spawned children) ----------
+def echo_worker(cell, scratch):
+    return {"doc": {"schema": 1, "cell": cell.to_dict(), "record": None},
+            "wall": 0.01, "pid": os.getpid()}
+
+
+def crash_once_worker(cell, scratch):
+    """Dies hard (breaking the pool) the first time each cell runs."""
+    sentinel = Path(scratch) / f"cell-{cell.index}.attempted"
+    if not sentinel.exists():
+        sentinel.write_text("")
+        os._exit(13)
+    return echo_worker(cell, scratch)
+
+
+def raise_on_odd_worker(cell, scratch):
+    if cell.index % 2:
+        raise RuntimeError(f"cell {cell.index} refuses")
+    return echo_worker(cell, scratch)
+
+
+class TestExecutorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(jobs=0)
+        with pytest.raises(ValueError):
+            ExecutorConfig(retries=-1)
+        with pytest.raises(ValueError):
+            ExecutorConfig(hash_seed="")
+
+    def test_defaults(self):
+        cfg = ExecutorConfig()
+        assert cfg.jobs == 2 and cfg.retries == 0
+
+
+class TestCampaignCell:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignCell(index=-1, version="V", fault="app_crash", seed=0)
+        with pytest.raises(ValueError):
+            CampaignCell(index=0, version="V", fault="app_crash", seed=-1)
+        with pytest.raises(ValueError):
+            CampaignCell(index=0, version="V", fault="not_a_fault", seed=0)
+
+    def test_pickle_and_dict_roundtrip(self):
+        cell = CampaignCell(index=3, version="COOP", fault="node_crash",
+                            seed=7, target="n2")
+        assert pickle.loads(pickle.dumps(cell)) == cell
+        assert CampaignCell.from_dict(cell.to_dict()) == cell
+        assert cell.cell_id == "0003:COOP:node_crash:7"
+
+
+class TestPinnedHashseed:
+    def test_sets_and_restores_when_unset(self, monkeypatch):
+        monkeypatch.delenv("PYTHONHASHSEED", raising=False)
+        with pinned_hashseed("5"):
+            assert os.environ["PYTHONHASHSEED"] == "5"
+        assert "PYTHONHASHSEED" not in os.environ
+
+    def test_restores_previous_value(self, monkeypatch):
+        monkeypatch.setenv("PYTHONHASHSEED", "42")
+        with pinned_hashseed("5"):
+            assert os.environ["PYTHONHASHSEED"] == "5"
+        assert os.environ["PYTHONHASHSEED"] == "42"
+
+    def test_worker_init_requires_pin(self, monkeypatch):
+        monkeypatch.delenv("PYTHONHASHSEED", raising=False)
+        with pytest.raises(RuntimeError, match="PYTHONHASHSEED"):
+            worker_init()
+        monkeypatch.setenv("PYTHONHASHSEED", "0")
+        worker_init()  # no raise
+
+
+class TestExecute:
+    def test_docs_in_grid_order(self, tmp_path):
+        cells = cells_for(4)
+        executor = CampaignExecutor(ExecutorConfig(jobs=2),
+                                    worker=echo_worker)
+        report = executor.execute(cells, str(tmp_path))
+        assert [o.cell.index for o in report.outcomes] == [0, 1, 2, 3]
+        assert [d["cell"]["index"] for d in report.docs] == [0, 1, 2, 3]
+        assert report.stats.cells == 4 and report.stats.failed == 0
+        assert report.stats.wall_seconds > 0
+        assert report.stats.cell_seconds == pytest.approx(0.04)
+
+    def test_duplicate_indices_rejected(self, tmp_path):
+        cells = [CampaignCell(index=0, version="V", fault="app_crash", seed=0),
+                 CampaignCell(index=0, version="V", fault="app_hang", seed=0)]
+        executor = CampaignExecutor(worker=echo_worker)
+        with pytest.raises(ValueError, match="duplicate"):
+            executor.execute(cells, str(tmp_path))
+
+    def test_worker_death_is_isolated_and_retried(self, tmp_path):
+        cells = cells_for(2)
+        executor = CampaignExecutor(ExecutorConfig(jobs=2, retries=2),
+                                    worker=crash_once_worker)
+        report = executor.execute(cells, str(tmp_path))
+        assert report.stats.failed == 0
+        assert report.stats.retried >= 1
+        assert all(o.ok for o in report.outcomes)
+        assert [d["cell"]["index"] for d in report.docs] == [0, 1]
+
+    def test_exhausted_retries_reported_not_raised(self, tmp_path):
+        cells = cells_for(3)
+        executor = CampaignExecutor(ExecutorConfig(jobs=2, retries=1),
+                                    worker=raise_on_odd_worker)
+        report = executor.execute(cells, str(tmp_path))
+        failed = report.failures
+        assert [o.cell.index for o in failed] == [1]
+        assert failed[0].attempts == 2
+        assert "RuntimeError" in failed[0].error
+        # survivors are intact and still in grid order
+        assert [d["cell"]["index"] for d in report.docs] == [0, 2]
+        assert report.stats.failed == 1
+
+    def test_strict_entry_point_raises(self, tmp_path):
+        cells = cells_for(2)
+        executor = CampaignExecutor(ExecutorConfig(jobs=2),
+                                    worker=raise_on_odd_worker)
+        report = executor.execute(cells, str(tmp_path))
+        with pytest.raises(CellExecutionError) as exc_info:
+            raise CellExecutionError(report)
+        assert exc_info.value.report is report
+        assert "0001:SYNTH:app_crash:0" in str(exc_info.value)
+
+    def test_progress_lines_emitted(self, tmp_path):
+        lines = []
+        executor = CampaignExecutor(ExecutorConfig(jobs=2),
+                                    progress=lines.append,
+                                    worker=echo_worker)
+        executor.execute(cells_for(2), str(tmp_path))
+        assert len(lines) == 2
+        assert all("ok in" in line for line in lines)
+
+    def test_metrics_recorded(self, tmp_path):
+        hub = MetricsHub()
+        executor = CampaignExecutor(ExecutorConfig(jobs=2),
+                                    metrics=hub, worker=echo_worker)
+        executor.execute(cells_for(2), str(tmp_path))
+        assert hub.value("parallel_cells_total", status="ok") == 2
+        assert hub.value("parallel_jobs") == 2
+        assert hub.value("parallel_speedup") > 0
+        hist = hub.get("parallel_cell_wall_seconds", fault="app_crash")
+        assert hist is not None and hist.count == 2
+
+
+def test_run_campaign_cells_strict(tmp_path):
+    # Non-strict returns survivors; strict raises with the report attached.
+    cells = cells_for(2)
+    docs = run_campaign_cells(cells, str(tmp_path), jobs=2, strict=False)
+    # run_campaign_cells always uses the real cell worker; with a scratch
+    # path for config every cell fails, which is exactly what the strict
+    # contract must surface.
+    assert docs == []
+    with pytest.raises(CellExecutionError):
+        run_campaign_cells(cells, str(tmp_path), jobs=2)

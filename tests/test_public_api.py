@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.ha",
     "repro.core",
     "repro.experiments",
+    "repro.parallel",
     "repro.bookstore",
     "repro.auction",
     "repro.cli",
