@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-all lint sanitize bench bench-quick examples clean
+.PHONY: install test test-fast test-all lint sanitize bench bench-quick bench-kernel examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -39,6 +39,12 @@ bench:
 
 bench-quick:
 	REPRO_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Kernel speed + observability overhead vs the committed baseline,
+# then the provenance-stamped trajectory (benchmarks/TREND.jsonl).
+bench-kernel:
+	$(PYTHON) -m repro bench --gate --out results/BENCH_kernel.json
+	$(PYTHON) -m repro bench --trend
 
 examples:
 	REPRO_QUICK=1 $(PYTHON) examples/quickstart.py

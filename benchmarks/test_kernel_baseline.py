@@ -1,0 +1,70 @@
+"""Kernel benchmark: events/sec, obs overhead, and digest equality.
+
+Runs the standard ``repro bench`` scenario suite (steady / crash / grid)
+under every observability mode, asserts the cross-mode digests are
+**identical** (the "observability never perturbs simulation" contract —
+unconditional), writes the full report to ``results/BENCH_kernel.json``,
+and gates events/sec and overhead ratios against the committed
+``benchmarks/BENCH_kernel.json`` baseline.  Mirroring the parallel
+benchmark's convention, the speed/overhead gates only fire on hosts with
+at least 4 cores: raw throughput is a hardware property, determinism is
+a code property, and only the latter can gate every environment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    MIN_CORES_FOR_GATE,
+    REGRESSION_TOLERANCE,
+    append_trend,
+    gate,
+    run_bench,
+)
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_kernel.json"
+TREND = Path(__file__).resolve().parent / "TREND.jsonl"
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def test_kernel_baseline(benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    out = RESULTS / "BENCH_kernel.json"
+    out.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")
+    for name, sc in sorted(report.scenarios.items()):
+        print(f"{name}: {sc.events_per_sec:,.0f} ev/s, "
+              f"{sc.wall_per_cell:.3f} s/cell, "
+              f"overhead unsub {sc.overhead('unsub'):.2f}x / "
+              f"on {sc.overhead('on'):.2f}x")
+
+    # The determinism half of the contract gates everywhere.
+    for name, sc in sorted(report.scenarios.items()):
+        assert sc.digests_equal, (
+            f"{name}: observability perturbed the simulation — digests "
+            f"diverged across obs modes: {sc.digests}")
+
+    if not BASELINE.exists():
+        pytest.fail(f"missing baseline {BASELINE}; copy {out} there to seed it")
+    baseline = json.loads(BASELINE.read_text())
+    assert set(baseline["scenarios"]) == set(report.scenarios), (
+        "baseline and suite cover different scenarios — re-seed the baseline")
+
+    verdict = gate(report, baseline, tolerance=REGRESSION_TOLERANCE,
+                   min_cores=MIN_CORES_FOR_GATE)
+    print(verdict.describe())
+    cores = os.cpu_count() or 1
+    if cores < MIN_CORES_FOR_GATE:
+        print(f"(speed/overhead gates skipped: {cores} core(s) < "
+              f"{MIN_CORES_FOR_GATE})")
+    assert verdict.ok, verdict.describe()
+
+    append_trend(report, str(TREND))
+    print(f"appended trend record to {TREND}")

@@ -1,0 +1,324 @@
+"""``repro bench``: the kernel benchmark runner, gate, and trend ledger.
+
+Thin orchestration over :mod:`repro.obs.perf` (which owns the scenarios
+and the measurement itself):
+
+* :func:`run_bench` measures the requested scenarios under every obs
+  mode and assembles the provenance-stamped report
+  (``results/BENCH_kernel.json`` in CI);
+* :func:`gate` compares a report against the committed baseline
+  (``benchmarks/BENCH_kernel.json``): cross-mode digest equality gates
+  everywhere, the events/sec floor and observability-overhead ceilings
+  gate only on hosts with enough cores (mirroring the
+  ``BENCH_parallel.json`` convention — overlap and raw speed are
+  hardware properties, determinism is a code property);
+* :func:`append_trend` / :func:`format_trend` maintain and render the
+  per-run trajectory ledger ``benchmarks/TREND.jsonl`` so "did this PR
+  make the kernel faster?" has a longitudinal answer, not an anecdote.
+
+Wall-clock use here times the host and stamps provenance records; it
+never touches simulated time (REP001 allowlist).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.perf import (
+    BENCH_SCHEMA,
+    OBS_MODES,
+    SCENARIOS,
+    ScenarioReport,
+    measure_scenario,
+    peak_rss_kb,
+    provenance,
+)
+
+#: committed baseline the gate compares against
+DEFAULT_BASELINE = "benchmarks/BENCH_kernel.json"
+#: the longitudinal ledger (one JSON record per bench run)
+DEFAULT_TREND = "benchmarks/TREND.jsonl"
+
+#: >20% events/sec regression fails the gate
+REGRESSION_TOLERANCE = 0.20
+#: cores needed before speed/overhead gating is meaningful
+MIN_CORES_FOR_GATE = 4
+
+
+@dataclass
+class BenchReport:
+    """One full bench run: every scenario, plus provenance."""
+
+    scenarios: Dict[str, ScenarioReport]
+    provenance: Dict[str, Any]
+    peak_rss_kb: int
+
+    @property
+    def ok(self) -> bool:
+        """True when no scenario's digests diverged across obs modes."""
+        return all(s.digests_equal for s in self.scenarios.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "ok": self.ok,
+            "provenance": self.provenance,
+            "peak_rss_kb": self.peak_rss_kb,
+            "scenarios": {name: s.to_dict()
+                          for name, s in sorted(self.scenarios.items())},
+        }
+
+
+def run_bench(scenario_names: Optional[Sequence[str]] = None,
+              modes: Sequence[str] = OBS_MODES,
+              attribution: bool = True,
+              top_n: int = 10,
+              progress=None) -> BenchReport:
+    """Measure the requested scenarios (default: the whole standard suite)."""
+    names = list(scenario_names) if scenario_names else sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenario(s) {unknown}; "
+                         f"choose from {sorted(SCENARIOS)}")
+    reports: Dict[str, ScenarioReport] = {}
+    for name in names:
+        if progress is not None:
+            progress(f"bench: {name} ({SCENARIOS[name].description})")
+        reports[name] = measure_scenario(SCENARIOS[name], modes=modes,
+                                         attribution=attribution, top_n=top_n)
+    return BenchReport(scenarios=reports, provenance=provenance(),
+                       peak_rss_kb=peak_rss_kb())
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+def format_bench(report: BenchReport, top_n: int = 5) -> str:
+    lines: List[str] = []
+    prov = report.provenance
+    dirty = "+dirty" if prov.get("git_dirty") else ""
+    lines.append(f"kernel bench @ {str(prov.get('git_sha', 'unknown'))[:12]}{dirty} "
+                 f"on {prov.get('host', '?')} "
+                 f"({prov.get('cpu_count', '?')} cores, "
+                 f"py{prov.get('python', '?')})")
+    lines.append(f"peak RSS: {report.peak_rss_kb} KiB")
+    for name, sc in sorted(report.scenarios.items()):
+        lines.append("")
+        lines.append(f"scenario {name}: {sc.description}")
+        lines.append(f"  events/sec (obs off) : {sc.events_per_sec:,.0f}")
+        lines.append(f"  wall per cell        : {sc.wall_per_cell:.3f} s "
+                     f"({sc.cells} cell{'s' if sc.cells != 1 else ''})")
+        lines.append(f"  overhead unsubscribed: {sc.overhead('unsub'):.3f}x")
+        lines.append(f"  overhead exporting   : {sc.overhead('on'):.3f}x")
+        lines.append(f"  digests equal        : "
+                     f"{'yes' if sc.digests_equal else 'NO — OBS PERTURBED THE RUN'}")
+        by_subsystem = sc.attribution.get("by_subsystem") or {}
+        if by_subsystem:
+            total = sum(by_subsystem.values()) or 1.0
+            parts = ", ".join(
+                f"{k} {v / total:.0%}"
+                for k, v in sorted(by_subsystem.items(),
+                                   key=lambda kv: -kv[1])[:top_n])
+            lines.append(f"  hot subsystems       : {parts}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# regression gate
+
+
+@dataclass
+class GateResult:
+    """Outcome of one baseline comparison."""
+
+    failures: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        lines = []
+        for f in self.failures:
+            lines.append(f"FAIL: {f}")
+        for s in self.skipped:
+            lines.append(f"skip: {s}")
+        for n in self.notes:
+            lines.append(f"ok:   {n}")
+        lines.append("gate PASSED" if self.ok else "gate FAILED")
+        return "\n".join(lines)
+
+
+def gate(report: BenchReport, baseline: Dict[str, Any],
+         tolerance: float = REGRESSION_TOLERANCE,
+         min_cores: int = MIN_CORES_FOR_GATE) -> GateResult:
+    """Compare a bench report against the committed baseline document.
+
+    * digest equality across obs modes: gated unconditionally;
+    * events/sec floor (``baseline * (1 - tolerance)``) and overhead
+      ceilings (from the baseline's ``gate`` section): gated only on
+      hosts with at least ``min_cores`` cores.
+    """
+    result = GateResult()
+    cores = os.cpu_count() or 1
+    perf_gated = cores >= min_cores
+    if not perf_gated:
+        result.skipped.append(
+            f"speed/overhead gates: host has {cores} core(s) < {min_cores}")
+    ceilings = baseline.get("gate", {})
+    base_scenarios = baseline.get("scenarios", {})
+
+    for name, sc in sorted(report.scenarios.items()):
+        if not sc.digests_equal:
+            result.failures.append(
+                f"{name}: digests diverged across obs modes {sc.digests}")
+        else:
+            result.notes.append(f"{name}: digests identical across "
+                                f"{len(sc.digests)} obs configurations")
+        base = base_scenarios.get(name)
+        if base is None:
+            result.skipped.append(f"{name}: not in baseline")
+            continue
+        if not perf_gated:
+            continue
+        floor = base["events_per_sec"] * (1.0 - tolerance)
+        if sc.events_per_sec < floor:
+            result.failures.append(
+                f"{name}: events/sec {sc.events_per_sec:,.0f} below floor "
+                f"{floor:,.0f} (baseline {base['events_per_sec']:,.0f}, "
+                f"tolerance {tolerance:.0%})")
+        else:
+            result.notes.append(
+                f"{name}: events/sec {sc.events_per_sec:,.0f} >= floor "
+                f"{floor:,.0f}")
+        for mode, key in (("unsub", "max_overhead_unsub"),
+                          ("on", "max_overhead_on")):
+            ceiling = ceilings.get(key)
+            if ceiling is None:
+                continue
+            measured = sc.overhead(mode)
+            if measured > ceiling:
+                result.failures.append(
+                    f"{name}: obs overhead ({mode}) {measured:.3f}x exceeds "
+                    f"ceiling {ceiling:.3f}x")
+    return result
+
+
+def read_baseline(path: str = DEFAULT_BASELINE) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fp:
+        return json.load(fp)
+
+
+# ---------------------------------------------------------------------------
+# trend ledger
+
+
+def trend_record(report: BenchReport) -> Dict[str, Any]:
+    """The one-line-per-run ledger record: provenance + headline numbers."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "provenance": report.provenance,
+        "ok": report.ok,
+        "peak_rss_kb": report.peak_rss_kb,
+        "headline": {
+            name: {
+                "events_per_sec": sc.events_per_sec,
+                "wall_per_cell": sc.wall_per_cell,
+                "overhead_unsub": sc.overhead("unsub"),
+                "overhead_on": sc.overhead("on"),
+            }
+            for name, sc in sorted(report.scenarios.items())
+        },
+    }
+
+
+def append_trend(report: BenchReport, path: str = DEFAULT_TREND) -> Dict[str, Any]:
+    """Append this run's record to the ledger; returns the record."""
+    record = trend_record(report)
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with open(p, "a", encoding="utf-8") as fp:
+        fp.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        fp.write("\n")
+    return record
+
+
+def read_trend(path: str = DEFAULT_TREND) -> List[Dict[str, Any]]:
+    p = Path(path)
+    if not p.exists():
+        return []
+    with open(p, "r", encoding="utf-8") as fp:
+        return [json.loads(line) for line in fp if line.strip()]
+
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Min-max normalized unicode sparkline."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK[len(_SPARK) // 2] * len(values)
+    span = hi - lo
+    return "".join(_SPARK[int((v - lo) / span * (len(_SPARK) - 1))]
+                   for v in values)
+
+
+def format_trend(records: List[Dict[str, Any]],
+                 scenario: Optional[str] = None) -> str:
+    """ASCII table + sparkline of the bench trajectory.
+
+    Runs from different hosts are flagged rather than hidden: the table
+    prints each record's host fingerprint, and a note calls out mixed
+    hosts (numbers across machines are not comparable).
+    """
+    if not records:
+        return "trend ledger is empty — run `repro bench` to add a record"
+    scenarios = sorted({name for r in records for name in r.get("headline", {})})
+    if scenario is not None:
+        if scenario not in scenarios:
+            return f"no trend data for scenario {scenario!r} (have {scenarios})"
+        scenarios = [scenario]
+
+    lines = [f"{'#':>3} {'date':<16} {'sha':<12} {'host':<12} "
+             + " ".join(f"{s + ' ev/s':>14}" for s in scenarios)]
+    for i, rec in enumerate(records):
+        prov = rec.get("provenance", {})
+        ts = prov.get("timestamp")
+        date = time.strftime("%Y-%m-%d %H:%M", time.gmtime(ts)) if ts else "?"
+        sha = str(prov.get("git_sha", "?"))[:10]
+        if prov.get("git_dirty"):
+            sha += "*"
+        host = str(prov.get("host_fingerprint", "?"))[:12]
+        cells = []
+        for s in scenarios:
+            head = rec.get("headline", {}).get(s)
+            cells.append(f"{head['events_per_sec']:>14,.0f}" if head
+                         else f"{'-':>14}")
+        lines.append(f"{i:>3} {date:<16} {sha:<12} {host:<12} " + " ".join(cells))
+
+    lines.append("")
+    for s in scenarios:
+        series = [r["headline"][s]["events_per_sec"]
+                  for r in records if s in r.get("headline", {})]
+        if series:
+            lines.append(f"{s:<8} {sparkline(series)}  "
+                         f"last {series[-1]:,.0f} ev/s "
+                         f"(min {min(series):,.0f}, max {max(series):,.0f})")
+    fingerprints = {r.get("provenance", {}).get("host_fingerprint")
+                    for r in records}
+    if len(fingerprints) > 1:
+        lines.append("")
+        lines.append(f"note: records span {len(fingerprints)} distinct hosts — "
+                     "compare within one host fingerprint only")
+    return "\n".join(lines)

@@ -21,7 +21,16 @@ Commands
     Fault-free run; dump the metrics registry snapshot (histograms include
     p50/p90/p99).
 ``profile VERSION``
-    Fault-free run with kernel profiling; report the event-loop hot spots.
+    Fault-free run with kernel profiling; report the event-loop hot
+    spots (``--time`` adds wall-time attribution per event kind /
+    process type / subsystem; ``--json``/``--top N`` for machines).
+``bench``
+    Kernel benchmark harness: standardized scenarios measured with
+    observability off / enabled-unsubscribed / fully exporting —
+    events/sec, wall-per-cell, overhead ratios, hot-path attribution.
+    ``--gate`` enforces the committed ``benchmarks/BENCH_kernel.json``
+    baseline; every run appends a provenance-stamped record to
+    ``benchmarks/TREND.jsonl`` (``--trend`` renders the trajectory).
 ``record VERSION FAULT``
     One single-fault experiment captured as a replayable flight-recorder
     artifact (JSON) for offline re-analysis.
@@ -250,7 +259,7 @@ def cmd_profile(args) -> int:
     from repro.experiments.runner import build_world
 
     config = _config(args)
-    telemetry = Telemetry(profile_kernel=True)
+    telemetry = Telemetry(profile_kernel=True, profile_time=args.time)
     world = build_world(_version(args.version), config.profile,
                         seed=config.seed, telemetry=telemetry)
     until = args.until
@@ -260,10 +269,79 @@ def cmd_profile(args) -> int:
     profiler = telemetry.profiler
     assert profiler is not None
     if args.json:
-        print(json.dumps(profiler.snapshot(), indent=2, sort_keys=True))
+        doc = profiler.snapshot()
+        # machine-readable top-N, mirroring the text report's sorting
+        doc["top"] = [{"owner": owner, "events": count}
+                      for owner, count in profiler.top(args.top)]
+        if args.time:
+            for table in ("subsystem", "kind", "type"):
+                doc[f"top_{table}"] = [
+                    {table: key, "seconds": secs}
+                    for key, secs in profiler.top_times(table, args.top)
+                ]
+        print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(profiler.report(top_n=args.top))
     return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import (
+        append_trend,
+        format_bench,
+        format_trend,
+        gate,
+        read_baseline,
+        read_trend,
+        run_bench,
+    )
+
+    if args.trend:
+        print(format_trend(read_trend(args.trend_file),
+                           scenario=args.scenario[0] if args.scenario else None))
+        return 0
+
+    try:
+        report = run_bench(
+            scenario_names=args.scenario or None,
+            attribution=not args.no_attribution,
+            top_n=args.top,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    doc = report.to_dict()
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fp:
+            json.dump(doc, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+    if not args.no_trend_append:
+        append_trend(report, args.trend_file)
+        print(f"trend: appended to {args.trend_file}", file=sys.stderr)
+
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(format_bench(report))
+
+    rc = 0
+    if args.gate:
+        try:
+            baseline = read_baseline(args.baseline)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read baseline {args.baseline!r}: "
+                             f"{exc}")
+        verdict = gate(report, baseline)
+        print(verdict.describe(), file=sys.stderr)
+        rc = 0 if verdict.ok else 1
+    elif not report.ok:
+        # even ungated, a digest divergence is always an error
+        print("error: observability perturbed simulation results "
+              "(digest mismatch)", file=sys.stderr)
+        rc = 1
+    return rc
 
 
 def cmd_record(args) -> int:
@@ -663,9 +741,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--until", type=float, default=None,
                    help="simulated seconds to run (default: warmup+window)")
     p.add_argument("--top", type=int, default=15,
-                   help="callback owners to list")
+                   help="entries per ranking (text and --json)")
+    p.add_argument("--time", action="store_true",
+                   help="wall-time attribution per event kind / process "
+                        "type / subsystem (TimingProfiler)")
     _add_common(p, json_flag=True)
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("bench",
+                       help="kernel benchmark harness: events/sec, "
+                            "obs-overhead ratios, time attribution, "
+                            "trend ledger")
+    p.add_argument("--scenario", action="append", default=[],
+                   metavar="NAME",
+                   help="scenario to run (repeatable; default: all); "
+                        "with --trend, the scenario to render")
+    p.add_argument("--gate", action="store_true",
+                   help="compare against the committed baseline; exit 1 "
+                        "on >20%% events/sec regression or digest "
+                        "divergence")
+    p.add_argument("--baseline", default="benchmarks/BENCH_kernel.json",
+                   help="baseline document for --gate")
+    p.add_argument("--trend", action="store_true",
+                   help="render the trend ledger and exit (no run)")
+    p.add_argument("--trend-file", default="benchmarks/TREND.jsonl",
+                   help="trajectory ledger path")
+    p.add_argument("--no-trend-append", action="store_true",
+                   help="do not append this run to the trend ledger")
+    p.add_argument("--out", default=None,
+                   help="also write the full JSON report to this file")
+    p.add_argument("--top", type=int, default=10,
+                   help="entries per attribution ranking")
+    p.add_argument("--no-attribution", action="store_true",
+                   help="skip the time-attribution pass")
+    _add_common(p, json_flag=True)
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("record",
                        help="one single-fault experiment captured as a "

@@ -27,6 +27,13 @@ On top of the raw telemetry sits the availability-accounting tier:
   (:mod:`repro.obs.budget`);
 * :func:`render_timeline` — ASCII throughput/stage timelines
   (:mod:`repro.obs.timeline`).
+
+And the performance-observability tier (:mod:`repro.obs.perf`, driven by
+``repro bench`` via :mod:`repro.bench`): standardized kernel benchmark
+scenarios measured under every obs mode (off / enabled-unsubscribed /
+fully exporting), wall-time attribution via :class:`TimingProfiler`,
+observability-overhead self-measurement, and provenance stamps for the
+``benchmarks/TREND.jsonl`` trajectory ledger.
 """
 
 from repro.obs.events import EventKind, KNOWN_KINDS, TraceEvent, sanitize
@@ -35,13 +42,21 @@ from repro.obs.export import (
     event_from_dict,
     event_to_dict,
     format_metrics,
+    jsonl_subscriber,
     read_csv,
     read_jsonl,
     write_csv,
     write_jsonl,
     write_metrics_json,
 )
-from repro.obs.kernelprof import KernelProfiler, callback_owner
+from repro.obs.kernelprof import (
+    KernelProfiler,
+    TimingProfiler,
+    callback_owner,
+    callback_subsystem,
+    process_type,
+    subsystem_of_path,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -81,6 +96,20 @@ _ACCOUNTING_EXPORTS = {
     "write_record": "repro.obs.recorder",
     "format_attribution": "repro.obs.timeline",
     "render_timeline": "repro.obs.timeline",
+    # the performance-observability tier (repro.obs.perf) — lazy for the
+    # same reason: it reaches into the world builders for its scenarios
+    "BENCH_SCHEMA": "repro.obs.perf",
+    "OBS_MODES": "repro.obs.perf",
+    "SCENARIOS": "repro.obs.perf",
+    "Scenario": "repro.obs.perf",
+    "ScenarioReport": "repro.obs.perf",
+    "ModeRun": "repro.obs.perf",
+    "measure_attribution": "repro.obs.perf",
+    "measure_mode": "repro.obs.perf",
+    "measure_scenario": "repro.obs.perf",
+    "peak_rss_kb": "repro.obs.perf",
+    "provenance": "repro.obs.perf",
+    "worlds_digest": "repro.obs.perf",
 }
 
 
@@ -96,6 +125,18 @@ def __getattr__(name):
 
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "OBS_MODES",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioReport",
+    "ModeRun",
+    "measure_attribution",
+    "measure_mode",
+    "measure_scenario",
+    "peak_rss_kb",
+    "provenance",
+    "worlds_digest",
     "AttributionConfig",
     "AttributionReport",
     "BoundaryCheck",
@@ -131,7 +172,11 @@ __all__ = [
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "KernelProfiler",
+    "TimingProfiler",
     "callback_owner",
+    "callback_subsystem",
+    "process_type",
+    "subsystem_of_path",
     "Telemetry",
     "NULL_TELEMETRY",
     "event_to_dict",
@@ -139,6 +184,7 @@ __all__ = [
     "write_jsonl",
     "read_jsonl",
     "dumps_jsonl",
+    "jsonl_subscriber",
     "write_csv",
     "read_csv",
     "write_metrics_json",

@@ -79,6 +79,21 @@ def dumps_jsonl(events: Iterable[TraceEvent]) -> str:
     return buf.getvalue()
 
 
+def jsonl_subscriber(fp: TextIO):
+    """A :meth:`Tracer.subscribe` callback streaming each event to ``fp``.
+
+    This is the "fully exporting" observability configuration: every
+    event is serialized at emit time (the cost the benchmark harness's
+    ``on`` mode measures), and nothing accumulates in memory beyond the
+    tracer's own retention window.
+    """
+    def _write(event: TraceEvent) -> None:
+        fp.write(json.dumps(event_to_dict(event), sort_keys=True))
+        fp.write("\n")
+
+    return _write
+
+
 # -- CSV -----------------------------------------------------------------
 _CSV_FIELDS = ("time", "kind", "source", "data")
 

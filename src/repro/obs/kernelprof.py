@@ -10,11 +10,30 @@ high-water mark, and attributes each event to the *owner* of its
 callbacks (the Process name for coroutine resumptions — e.g.
 ``n0.main`` or ``client-req`` — or the function's qualname for bare
 callbacks), which is what ``repro profile`` reports.
+
+:class:`TimingProfiler` extends the counting profiler with wall-clock
+*time attribution*: the kernel brackets each event's callback batch with
+``on_event``/``on_event_done``, and the elapsed host time is charged to
+the event's kind (Timeout/Process/...), the owning process *type*
+(``n0.main`` and ``n3.main`` collapse to ``n*.main``), and the subsystem
+that owns the resumed code (kernel / press / ha / workload / net / ...).
+The wall-clock reads never touch simulated time or any digested stream —
+they exist only in the profiler's own report (REP001 allowlists this
+module for exactly that reason).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+import re
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+#: collapse digit runs so per-instance process names group into types:
+#: ``n0.main`` -> ``n*.main``, ``client17`` -> ``client*``
+_DIGITS = re.compile(r"\d+")
+
+#: package component under ``repro/`` -> reported subsystem name
+_SUBSYSTEM_OF_PKG = {"sim": "kernel"}
 
 
 def callback_owner(cb) -> str:
@@ -26,6 +45,50 @@ def callback_owner(cb) -> str:
             return str(name)
         return type(bound_self).__name__
     return getattr(cb, "__qualname__", repr(cb))
+
+
+def process_type(owner: str) -> str:
+    """Collapse an owner name to its process type (``n0.main`` -> ``n*.main``)."""
+    return _DIGITS.sub("*", owner)
+
+
+def _callback_code(cb):
+    """The code object that will actually run when ``cb`` fires.
+
+    For a Process resumption the interesting code is the *generator
+    body* (``n0.main`` lives in press/server.py, not sim/process.py);
+    for plain functions and bound methods it is the function itself.
+    """
+    bound_self = getattr(cb, "__self__", None)
+    gen = getattr(bound_self, "_generator", None) if bound_self is not None else None
+    if gen is not None:
+        code = getattr(gen, "gi_code", None)
+        if code is not None:
+            return code
+    func = getattr(cb, "__func__", cb)
+    return getattr(func, "__code__", None)
+
+
+def subsystem_of_path(filename: str) -> str:
+    """Map a source path to its subsystem (``.../repro/press/server.py`` -> ``press``)."""
+    norm = filename.replace("\\", "/")
+    marker = "/repro/"
+    idx = norm.rfind(marker)
+    if idx < 0:
+        return "other"
+    rest = norm[idx + len(marker):]
+    pkg = rest.split("/", 1)[0]
+    if pkg.endswith(".py"):  # module directly under repro/ (cli.py, bench.py)
+        pkg = pkg[:-3]
+    return _SUBSYSTEM_OF_PKG.get(pkg, pkg)
+
+
+def callback_subsystem(cb) -> str:
+    """Subsystem attribution key for one event callback."""
+    code = _callback_code(cb)
+    if code is None:
+        return "other"
+    return subsystem_of_path(code.co_filename)
 
 
 class KernelProfiler:
@@ -56,6 +119,9 @@ class KernelProfiler:
         else:
             by_owner["(uncollected)"] = by_owner.get("(uncollected)", 0) + 1
 
+    def on_event_done(self, event) -> None:
+        """Post-callback hook; the counting profiler has nothing to do."""
+
     # -- reporting -------------------------------------------------------
     def top(self, n: int = 15) -> List[Tuple[str, int]]:
         """The ``n`` busiest callback owners, descending."""
@@ -79,4 +145,102 @@ class KernelProfiler:
         ]
         for owner, count in self.top(top_n):
             lines.append(f"{owner:<32} {count}")
+        return "\n".join(lines)
+
+
+def _top_times(table: Dict[str, float], n: Optional[int] = None) -> List[Tuple[str, float]]:
+    ranked = sorted(table.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked if n is None else ranked[:n]
+
+
+class TimingProfiler(KernelProfiler):
+    """Counting profiler plus wall-time attribution per event.
+
+    Each processed event's callback batch is timed
+    (``on_event`` .. ``on_event_done``) and the elapsed host seconds are
+    charged to three independent breakdowns:
+
+    * ``time_by_kind`` — the event class (``Timeout``, ``Process``,
+      ``Event``, ``AnyOf``...), i.e. *what the kernel was delivering*;
+    * ``time_by_type`` — the owning process type
+      (:func:`process_type`), i.e. *which coroutine family ran*;
+    * ``time_by_subsystem`` — the package owning the resumed code
+      (:func:`callback_subsystem`): kernel / press / ha / workload /
+      net / faults / hardware / ...
+
+    Attribution keys are computed per event (an event's callbacks
+    overwhelmingly share one owner); multi-owner batches are charged to
+    the first callback's owner.  ``wall_seconds`` totals time spent
+    inside callbacks — the kernel's own heap work is the remainder of
+    the run's wall clock.
+    """
+
+    __slots__ = ("time_by_kind", "time_by_type", "time_by_subsystem",
+                 "count_by_kind", "wall_seconds", "_keys", "_t0")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.time_by_kind: Dict[str, float] = {}
+        self.time_by_type: Dict[str, float] = {}
+        self.time_by_subsystem: Dict[str, float] = {}
+        self.count_by_kind: Dict[str, int] = {}
+        self.wall_seconds = 0.0
+        self._keys: Tuple[str, str, str] = ("", "", "")
+        self._t0 = 0.0
+
+    # -- kernel monitor protocol ----------------------------------------
+    def on_event(self, event, callbacks) -> None:
+        super().on_event(event, callbacks)
+        kind = type(event).__name__
+        if callbacks:
+            cb = callbacks[0]
+            owner = process_type(callback_owner(cb))
+            subsystem = callback_subsystem(cb)
+        else:
+            owner, subsystem = "(uncollected)", "kernel"
+        self.count_by_kind[kind] = self.count_by_kind.get(kind, 0) + 1
+        self._keys = (kind, owner, subsystem)
+        self._t0 = time.perf_counter()
+
+    def on_event_done(self, event) -> None:
+        dt = time.perf_counter() - self._t0
+        kind, owner, subsystem = self._keys
+        self.wall_seconds += dt
+        self.time_by_kind[kind] = self.time_by_kind.get(kind, 0.0) + dt
+        self.time_by_type[owner] = self.time_by_type.get(owner, 0.0) + dt
+        self.time_by_subsystem[subsystem] = \
+            self.time_by_subsystem.get(subsystem, 0.0) + dt
+
+    # -- reporting -------------------------------------------------------
+    def top_times(self, table: str, n: int = 15) -> List[Tuple[str, float]]:
+        """The ``n`` most expensive keys of one breakdown
+        (``kind``/``type``/``subsystem``), descending by seconds."""
+        return _top_times({
+            "kind": self.time_by_kind,
+            "type": self.time_by_type,
+            "subsystem": self.time_by_subsystem,
+        }[table], n)
+
+    def snapshot(self) -> Dict[str, Any]:
+        snap = super().snapshot()
+        snap.update({
+            "wall_seconds": self.wall_seconds,
+            "time_by_kind": dict(self.time_by_kind),
+            "time_by_type": dict(self.time_by_type),
+            "time_by_subsystem": dict(self.time_by_subsystem),
+            "count_by_kind": dict(self.count_by_kind),
+        })
+        return snap
+
+    def report(self, top_n: int = 15) -> str:
+        lines = [super().report(top_n=top_n), ""]
+        lines.append(f"wall in callbacks: {self.wall_seconds * 1e3:.1f} ms")
+        total = self.wall_seconds or 1.0
+        for title, table in (("subsystem", self.time_by_subsystem),
+                             ("event kind", self.time_by_kind),
+                             ("process type", self.time_by_type)):
+            lines.append("")
+            lines.append(f"{title:<32} ms      share")
+            for key, secs in _top_times(table, top_n):
+                lines.append(f"{key:<32} {secs * 1e3:7.1f} {secs / total:6.1%}")
         return "\n".join(lines)

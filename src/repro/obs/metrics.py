@@ -229,7 +229,11 @@ class MetricsHub:
 
     def value(self, name: str, **labels: Any) -> float:
         metric = self.get(name, **labels)
-        return metric.value if metric is not None else 0.0
+        # Histograms have no scalar .value; report their observation count
+        # so value() is total on every instrument type.
+        if metric is None:
+            return 0.0
+        return getattr(metric, "value", getattr(metric, "count", 0.0))
 
     def snapshot(self) -> List[Dict[str, Any]]:
         """Every instrument as a plain dict, sorted by (name, labels)."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.obs.kernelprof import KernelProfiler
+from repro.obs.kernelprof import KernelProfiler, TimingProfiler
 from repro.obs.metrics import MetricsHub
 from repro.obs.trace import TracedMarkerLog, Tracer
 
@@ -24,18 +24,35 @@ class Telemetry:
     successful request — precise but memory-hungry; off by default
     (successes are always *counted* in metrics, and failures are always
     traced as discrete events).
+
+    ``profile_time=True`` upgrades the kernel profiler to a
+    :class:`~repro.obs.kernelprof.TimingProfiler` (wall-time attribution
+    per event kind / process type / subsystem); it implies kernel
+    profiling.
+
+    ``trace_max_events`` caps the tracer's in-memory retention (ring
+    buffer).  The drop count is exposed both as ``tracer.dropped`` and —
+    when metrics are enabled — as the ``trace_events_dropped`` counter in
+    the hub.  Unset (the default), nothing changes: the stream is
+    unbounded and no extra metric series is registered, so existing
+    digests are untouched.
     """
 
     __slots__ = ("enabled", "tracer", "metrics", "profiler", "trace_requests")
 
     def __init__(self, enabled: bool = True, profile_kernel: bool = False,
-                 trace_requests: bool = False):
+                 trace_requests: bool = False, profile_time: bool = False,
+                 trace_max_events: Optional[int] = None):
         self.enabled = enabled
-        self.tracer = Tracer(enabled=enabled)
         self.metrics = MetricsHub(enabled=enabled)
-        self.profiler: Optional[KernelProfiler] = (
-            KernelProfiler() if (enabled and profile_kernel) else None
-        )
+        drop_counter = (self.metrics.counter("trace_events_dropped")
+                        if (enabled and trace_max_events is not None) else None)
+        self.tracer = Tracer(enabled=enabled, max_events=trace_max_events,
+                             drop_counter=drop_counter)
+        profiler: Optional[KernelProfiler] = None
+        if enabled and (profile_kernel or profile_time):
+            profiler = TimingProfiler() if profile_time else KernelProfiler()
+        self.profiler = profiler
         self.trace_requests = bool(enabled and trace_requests)
 
     @classmethod

@@ -15,6 +15,7 @@ verifies.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, List, Optional
 
 from repro.obs.events import TraceEvent, marker_event, sanitize
@@ -22,15 +23,38 @@ from repro.sim.series import MarkerLog
 
 
 class Tracer:
-    """Append-only, typed telemetry stream."""
+    """Append-only, typed telemetry stream.
 
-    __slots__ = ("enabled", "_events", "_env", "_subscribers")
+    ``max_events`` bounds in-memory retention: when set, the stream
+    becomes a ring buffer — the oldest events are discarded as new ones
+    arrive, and ``dropped`` counts the casualties (long campaigns would
+    otherwise accumulate an unbounded list).  Subscribers still see
+    *every* event at emit time, so exporters that stream to disk lose
+    nothing; only the in-memory tail is capped.  ``drop_counter`` is an
+    optional Counter-shaped object (``inc()``) mirroring the drop count
+    into a metrics registry.
+    """
 
-    def __init__(self, enabled: bool = True):
+    __slots__ = ("enabled", "_events", "_env", "_subscribers", "_max_events",
+                 "dropped", "_drop_counter")
+
+    def __init__(self, enabled: bool = True, max_events: Optional[int] = None,
+                 drop_counter=None):
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
         self.enabled = enabled
-        self._events: List[TraceEvent] = []
+        self._max_events = max_events
+        self._events: Any = (deque(maxlen=max_events) if max_events is not None
+                             else [])
         self._env = None
         self._subscribers: List[Callable[[TraceEvent], None]] = []
+        self.dropped = 0
+        self._drop_counter = drop_counter
+
+    @property
+    def max_events(self) -> Optional[int]:
+        """Retention cap, or None for unbounded."""
+        return self._max_events
 
     # -- wiring ----------------------------------------------------------
     def bind_clock(self, env) -> None:
@@ -60,7 +84,12 @@ class Tracer:
         return self._append(marker_event(time, label, data))
 
     def _append(self, event: TraceEvent) -> TraceEvent:
-        self._events.append(event)
+        buf = self._events
+        if self._max_events is not None and len(buf) == self._max_events:
+            self.dropped += 1
+            if self._drop_counter is not None:
+                self._drop_counter.inc()
+        buf.append(event)
         for fn in self._subscribers:
             fn(event)
         return event

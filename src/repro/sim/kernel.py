@@ -133,6 +133,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list = []
         self._seq = 0
+        self._processed = 0
         self._stopped = False
         # Opt-in profiling hook (see repro.obs.kernelprof).  The fast path
         # pays one `is not None` check per schedule/step; with no monitor
@@ -143,6 +144,21 @@ class Environment:
     def now(self) -> float:
         """Current simulated time (seconds)."""
         return self._now
+
+    @property
+    def scheduled_count(self) -> int:
+        """Events scheduled since construction (monotone, monitor-free)."""
+        return self._seq
+
+    @property
+    def processed_count(self) -> int:
+        """Events processed since construction.
+
+        Maintained unconditionally (one integer increment per step), so
+        the benchmark harness can compute events/sec without attaching a
+        monitor — attaching one would perturb the quantity being measured.
+        """
+        return self._processed
 
     @property
     def monitor(self):
@@ -204,11 +220,21 @@ class Environment:
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True
+        self._processed += 1
         assert callbacks is not None
-        if self._monitor is not None:
-            self._monitor.on_event(event, callbacks)
-        for cb in callbacks:
-            cb(event)
+        monitor = self._monitor
+        if monitor is not None:
+            # Profiled path: bracket the callback batch so a timing
+            # monitor (repro.obs.kernelprof.TimingProfiler) can charge
+            # wall time to this event.  The unprofiled loop below stays
+            # free of any per-callback monitor checks.
+            monitor.on_event(event, callbacks)
+            for cb in callbacks:
+                cb(event)
+            monitor.on_event_done(event)
+        else:
+            for cb in callbacks:
+                cb(event)
         if event._ok is False and not getattr(event, "_defused", False):
             # An unhandled failure: surface it rather than losing it.
             raise event._value

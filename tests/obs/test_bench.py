@@ -1,0 +1,232 @@
+"""The bench runner, regression gate, and trend ledger (repro.bench)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchReport,
+    append_trend,
+    format_bench,
+    format_trend,
+    gate,
+    read_baseline,
+    read_trend,
+    run_bench,
+    sparkline,
+    trend_record,
+)
+from repro.obs.perf import ModeRun, ScenarioReport
+
+
+def _scenario_report(name="steady", eps=100_000.0, digest="d", on_digest=None,
+                     overhead_unsub=1.1, overhead_on=1.4):
+    """Fabricate a ScenarioReport with controlled headline numbers."""
+    report = ScenarioReport(scenario=name, description=f"{name} desc", cells=1)
+    wall = 1.0
+    report.runs["off"] = ModeRun("off", wall, int(eps * wall), int(eps * wall),
+                                 0, digest)
+    report.runs["unsub"] = ModeRun("unsub", wall * overhead_unsub,
+                                   int(eps * wall), int(eps * wall), 50, digest)
+    report.runs["on"] = ModeRun("on", wall * overhead_on, int(eps * wall),
+                                int(eps * wall), 50,
+                                on_digest if on_digest is not None else digest)
+    report.attribution = {"by_subsystem": {"press": 0.6, "kernel": 0.2}}
+    report.attribution_digest = digest
+    return report
+
+
+def _bench_report(scenarios=None, dirty=False):
+    scenarios = scenarios or {"steady": _scenario_report()}
+    return BenchReport(
+        scenarios=scenarios,
+        provenance={"git_sha": "abc123def456", "git_dirty": dirty,
+                    "host": "testhost", "host_fingerprint": "fp0000000000",
+                    "machine": "x86_64", "cpu_count": 8, "python": "3.11.0",
+                    "timestamp": 1_700_000_000.0},
+        peak_rss_kb=50_000,
+    )
+
+
+def _baseline(eps=100_000.0, ceilings=None):
+    doc = {"schema": 1,
+           "scenarios": {"steady": {"events_per_sec": eps,
+                                    "wall_per_cell": 1.0}}}
+    if ceilings:
+        doc["gate"] = ceilings
+    return doc
+
+
+class TestRunBench:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_bench(["nope"])
+
+
+class TestGate:
+    def test_passes_at_baseline(self):
+        verdict = gate(_bench_report(), _baseline(), min_cores=0)
+        assert verdict.ok
+        assert any("digests identical" in n for n in verdict.notes)
+        assert "gate PASSED" in verdict.describe()
+
+    def test_digest_divergence_fails_even_on_small_hosts(self):
+        report = _bench_report(
+            {"steady": _scenario_report(digest="a", on_digest="b")})
+        verdict = gate(report, _baseline(), min_cores=10**6)
+        assert not verdict.ok
+        assert any("digests diverged" in f for f in verdict.failures)
+        assert "gate FAILED" in verdict.describe()
+
+    def test_speed_regression_fails_on_big_hosts(self):
+        report = _bench_report({"steady": _scenario_report(eps=70_000.0)})
+        verdict = gate(report, _baseline(eps=100_000.0), tolerance=0.20,
+                       min_cores=0)
+        assert not verdict.ok
+        assert any("below floor" in f for f in verdict.failures)
+
+    def test_speed_regression_skipped_on_small_hosts(self):
+        report = _bench_report({"steady": _scenario_report(eps=70_000.0)})
+        verdict = gate(report, _baseline(eps=100_000.0), min_cores=10**6)
+        assert verdict.ok
+        assert any("speed/overhead gates" in s for s in verdict.skipped)
+
+    def test_within_tolerance_passes(self):
+        report = _bench_report({"steady": _scenario_report(eps=85_000.0)})
+        assert gate(report, _baseline(eps=100_000.0), tolerance=0.20,
+                    min_cores=0).ok
+
+    def test_overhead_ceiling_enforced(self):
+        report = _bench_report({"steady": _scenario_report(overhead_on=3.0)})
+        baseline = _baseline(ceilings={"max_overhead_on": 2.0})
+        verdict = gate(report, baseline, min_cores=0)
+        assert not verdict.ok
+        assert any("overhead (on)" in f for f in verdict.failures)
+        # ...but not when the host is too small to time reliably.
+        assert gate(report, baseline, min_cores=10**6).ok
+
+    def test_unsub_overhead_ceiling(self):
+        report = _bench_report({"steady": _scenario_report(overhead_unsub=2.0)})
+        baseline = _baseline(ceilings={"max_overhead_unsub": 1.5})
+        verdict = gate(report, baseline, min_cores=0)
+        assert any("overhead (unsub)" in f for f in verdict.failures)
+
+    def test_scenario_missing_from_baseline_is_skipped(self):
+        report = _bench_report({"crash": _scenario_report(name="crash")})
+        verdict = gate(report, _baseline(), min_cores=0)
+        assert verdict.ok
+        assert any("not in baseline" in s for s in verdict.skipped)
+
+
+class TestBenchReport:
+    def test_ok_tracks_digest_equality(self):
+        assert _bench_report().ok
+        bad = _bench_report({"s": _scenario_report(digest="a", on_digest="b")})
+        assert not bad.ok
+
+    def test_to_dict_shape(self):
+        doc = _bench_report().to_dict()
+        assert doc["schema"] == 1
+        assert doc["ok"] is True
+        assert doc["peak_rss_kb"] == 50_000
+        assert "steady" in doc["scenarios"]
+        assert doc["provenance"]["host"] == "testhost"
+
+    def test_format_bench(self):
+        text = format_bench(_bench_report())
+        assert "abc123def456"[:12] in text
+        assert "events/sec" in text
+        assert "overhead unsubscribed" in text
+        assert "digests equal        : yes" in text
+        assert "hot subsystems" in text
+        assert "press" in text
+
+    def test_format_bench_flags_divergence_and_dirty_tree(self):
+        report = _bench_report(
+            {"s": _scenario_report(name="s", digest="a", on_digest="b")},
+            dirty=True)
+        text = format_bench(report)
+        assert "OBS PERTURBED" in text
+        assert "+dirty" in text
+
+
+class TestTrendLedger:
+    def test_trend_record_headline(self):
+        record = trend_record(_bench_report())
+        assert record["ok"] is True
+        assert record["provenance"]["git_sha"] == "abc123def456"
+        head = record["headline"]["steady"]
+        assert head["events_per_sec"] == pytest.approx(100_000.0)
+        assert head["overhead_unsub"] == pytest.approx(1.1)
+        assert head["overhead_on"] == pytest.approx(1.4)
+
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "sub" / "TREND.jsonl")
+        first = append_trend(_bench_report(), path)
+        append_trend(_bench_report(), path)
+        records = read_trend(path)
+        assert len(records) == 2
+        assert records[0] == first
+
+    def test_read_missing_ledger_is_empty(self, tmp_path):
+        assert read_trend(str(tmp_path / "none.jsonl")) == []
+
+    def test_read_baseline(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        path.write_text(json.dumps(_baseline()))
+        assert read_baseline(str(path))["scenarios"]["steady"][
+            "events_per_sec"] == 100_000.0
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_monotonic_series_spans_range(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+
+class TestFormatTrend:
+    def _records(self, n=3, host="fp0000000000"):
+        out = []
+        for i in range(n):
+            out.append({
+                "provenance": {"git_sha": f"sha{i}00000000", "git_dirty": i == 1,
+                               "host_fingerprint": host,
+                               "timestamp": 1_700_000_000.0 + i * 3600},
+                "headline": {"steady": {"events_per_sec": 100_000.0 + i * 1000,
+                                        "wall_per_cell": 1.0,
+                                        "overhead_unsub": 1.1,
+                                        "overhead_on": 1.4}},
+            })
+        return out
+
+    def test_empty_ledger_message(self):
+        assert "empty" in format_trend([])
+
+    def test_table_and_sparkline(self):
+        text = format_trend(self._records())
+        assert "sha0000000" in text
+        assert "sha1000000*" in text  # dirty flag
+        assert "steady" in text
+        assert "last 102,000" in text
+        assert "note:" not in text
+
+    def test_mixed_hosts_flagged(self):
+        records = self._records(2) + self._records(1, host="fpffffffffff")
+        assert "distinct hosts" in format_trend(records)
+
+    def test_unknown_scenario_filter(self):
+        assert "no trend data" in format_trend(self._records(), scenario="nope")
+
+    def test_scenario_filter(self):
+        text = format_trend(self._records(), scenario="steady")
+        assert "steady" in text

@@ -1,5 +1,7 @@
 """Kernel profiling hooks and the Telemetry bundle."""
 
+import pytest
+
 from repro.obs.kernelprof import KernelProfiler, callback_owner
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.kernel import Environment
@@ -133,3 +135,215 @@ class TestTelemetry:
     def test_null_telemetry_shared(self):
         assert not NULL_TELEMETRY.enabled
         assert NULL_TELEMETRY.tracer.emit("x") is None
+
+
+class TestMonitorLifecycle:
+    """Install/uninstall/replace semantics of the kernel monitor hook."""
+
+    def test_on_event_brackets_callbacks(self):
+        log = []
+
+        class OrderMonitor:
+            def on_schedule(self, depth):
+                pass
+
+            def on_event(self, event, callbacks):
+                log.append("event")
+
+            def on_event_done(self, event):
+                log.append("done")
+
+        env = Environment(monitor=OrderMonitor())
+
+        def proc():
+            log.append("cb")
+            yield env.timeout(1.0)
+            log.append("cb")
+
+        env.process(proc(), name="p")
+        env.run(until=5.0)
+        # Every delivered event is exactly event -> [callbacks...] -> done.
+        state = "done"
+        for entry in log:
+            if entry == "event":
+                assert state == "done"
+                state = "event"
+            elif entry == "cb":
+                assert state == "event"
+            else:  # done
+                assert state == "event"
+                state = "done"
+        assert state == "done"
+        assert log.count("event") == log.count("done") > 0
+        assert log.count("cb") == 2
+
+    def test_replace_monitor_mid_run_splits_counts(self):
+        env = Environment()
+        first, second = KernelProfiler(), KernelProfiler()
+        env.set_monitor(first)
+        env.process(_ticker(env, 1.0), name="t")
+        env.run(until=3.0)
+        env.set_monitor(second)
+        env.run(until=6.0)
+        assert first.events_processed > 0
+        assert second.events_processed > 0
+        # The kernel's own counter saw every event both profilers saw.
+        assert env.processed_count == \
+            first.events_processed + second.events_processed
+
+    def test_processed_count_without_monitor(self):
+        env = Environment()
+        assert env.processed_count == 0
+        env.process(_ticker(env, 1.0), name="t")
+        env.run(until=5.0)
+        assert env.monitor is None
+        assert env.processed_count > 0
+        assert env.scheduled_count >= env.processed_count
+
+    def test_counts_agree_with_profiler(self):
+        env = Environment()
+        profiler = KernelProfiler()
+        env.set_monitor(profiler)
+        env.process(_ticker(env, 0.5), name="t")
+        env.run(until=4.0)
+        assert env.processed_count == profiler.events_processed
+        assert env.scheduled_count == profiler.events_scheduled
+
+
+class TestProcessType:
+    def test_collapses_digit_runs(self):
+        from repro.obs.kernelprof import process_type
+
+        assert process_type("n0.main") == "n*.main"
+        assert process_type("n17.main") == "n*.main"
+        assert process_type("client42") == "client*"
+        assert process_type("fe") == "fe"
+
+
+class TestSubsystemAttribution:
+    def test_subsystem_of_path(self):
+        from repro.obs.kernelprof import subsystem_of_path
+
+        assert subsystem_of_path("/x/src/repro/press/server.py") == "press"
+        assert subsystem_of_path("/x/src/repro/sim/kernel.py") == "kernel"
+        assert subsystem_of_path("/x/src/repro/ha/membership.py") == "ha"
+        assert subsystem_of_path("C:\\x\\repro\\net\\link.py") == "net"
+        assert subsystem_of_path("/x/src/repro/cli.py") == "cli"
+        assert subsystem_of_path("/somewhere/else/mod.py") == "other"
+
+    def test_callback_subsystem_prefers_generator_body(self):
+        from repro.obs.kernelprof import callback_subsystem
+
+        # A Process resumption is a bound method living in sim/process.py;
+        # attribution must follow the *generator body* instead.
+        src = "def g():\n    yield\n"
+        ns = {}
+        exec(compile(src, "/x/src/repro/press/server.py", "exec"), ns)
+
+        class FakeProc:
+            name = "n0.main"
+
+            def __init__(self):
+                self._generator = ns["g"]()
+
+            def resume(self, ev):
+                pass
+
+        assert callback_subsystem(FakeProc().resume) == "press"
+
+    def test_callback_subsystem_plain_function(self):
+        from repro.obs.kernelprof import callback_subsystem
+
+        def handler(ev):
+            pass
+
+        assert callback_subsystem(handler) == "other"  # test file path
+
+    def test_callback_subsystem_uninspectable(self):
+        from repro.obs.kernelprof import callback_subsystem
+
+        assert callback_subsystem(object()) == "other"
+
+
+class TestTimingProfiler:
+    def test_accumulates_time_tables(self):
+        from repro.obs.kernelprof import TimingProfiler
+
+        env = Environment()
+        profiler = TimingProfiler()
+        env.set_monitor(profiler)
+        env.process(_ticker(env, 1.0), name="n0.main")
+        env.process(_ticker(env, 1.0), name="n1.main")
+        env.run(until=10.0)
+        assert profiler.wall_seconds > 0.0
+        assert "Timeout" in profiler.time_by_kind
+        assert profiler.count_by_kind["Timeout"] > 0
+        # Instances collapse into one process type.
+        assert "n*.main" in profiler.time_by_type
+        assert "n0.main" not in profiler.time_by_type
+        # The sum over any one table equals total callback time.
+        for table in (profiler.time_by_kind, profiler.time_by_type,
+                      profiler.time_by_subsystem):
+            assert sum(table.values()) == pytest.approx(profiler.wall_seconds)
+
+    def test_uncollected_event_charged_to_kernel(self):
+        from repro.obs.kernelprof import TimingProfiler
+
+        profiler = TimingProfiler()
+        profiler.on_event(object(), [])
+        profiler.on_event_done(object())
+        assert set(profiler.time_by_type) == {"(uncollected)"}
+        assert set(profiler.time_by_subsystem) == {"kernel"}
+        assert profiler.count_by_kind == {"object": 1}
+
+    def test_top_times_ranks_descending(self):
+        from repro.obs.kernelprof import TimingProfiler
+
+        profiler = TimingProfiler()
+        profiler.time_by_subsystem.update({"press": 0.5, "ha": 0.9, "net": 0.1})
+        assert profiler.top_times("subsystem", 2) == [("ha", 0.9), ("press", 0.5)]
+        with pytest.raises(KeyError):
+            profiler.top_times("nope")
+
+    def test_snapshot_and_report_extend_base(self):
+        from repro.obs.kernelprof import TimingProfiler
+
+        env = Environment()
+        profiler = TimingProfiler()
+        env.set_monitor(profiler)
+        env.process(_ticker(env, 1.0), name="t")
+        env.run(until=3.0)
+        snap = profiler.snapshot()
+        assert snap["events_processed"] == profiler.events_processed
+        assert snap["wall_seconds"] == profiler.wall_seconds
+        assert set(snap["time_by_kind"]) == set(profiler.time_by_kind)
+        text = profiler.report(top_n=3)
+        assert "wall in callbacks" in text
+        assert "subsystem" in text
+        assert "event kind" in text
+
+    def test_profile_time_upgrades_telemetry_profiler(self):
+        from repro.obs.kernelprof import TimingProfiler
+
+        assert isinstance(Telemetry(profile_time=True).profiler, TimingProfiler)
+        assert not isinstance(Telemetry(profile_kernel=True).profiler,
+                              TimingProfiler)
+        assert Telemetry(enabled=False, profile_time=True).profiler is None
+
+    def test_timing_profiler_does_not_perturb_results(self):
+        from repro.obs.kernelprof import TimingProfiler
+
+        def run(monitor):
+            env = Environment(monitor=monitor)
+            seen = []
+
+            def recorder():
+                while True:
+                    yield env.timeout(0.5)
+                    seen.append(env.now)
+
+            env.process(recorder(), name="rec")
+            env.run(until=5.0)
+            return seen
+
+        assert run(None) == run(TimingProfiler())

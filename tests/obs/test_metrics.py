@@ -170,3 +170,52 @@ class TestHistogramQuantileSnapshot:
         hub.histogram("lat", buckets=(1.0,)).observe(5.0)
         text = format_metrics(hub.snapshot())
         assert "p99=inf" in text
+
+
+class TestNullInstruments:
+    """The shared nulls must be no-ops with all query paths safe."""
+
+    def test_null_counter_inc_is_noop(self):
+        NULL_COUNTER.inc()
+        NULL_COUNTER.inc(100.0)
+        assert NULL_COUNTER.value == 0.0
+        assert NULL_COUNTER.kind == "counter"
+
+    def test_null_gauge_mutators_are_noops(self):
+        NULL_GAUGE.set(42.0)
+        NULL_GAUGE.inc(7.0)
+        NULL_GAUGE.dec(3.0)
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_GAUGE.max == 0.0
+        assert NULL_GAUGE.min == 0.0
+
+    def test_null_histogram_observe_is_noop(self):
+        NULL_HISTOGRAM.observe(1.5)
+        NULL_HISTOGRAM.observe(99.0)
+        assert NULL_HISTOGRAM.count == 0
+        assert NULL_HISTOGRAM.sum == 0.0
+        assert NULL_HISTOGRAM.mean() == 0.0
+        # Empty-distribution quantiles are zero, matching a real empty
+        # Histogram — callers never need to special-case disabled hubs.
+        assert NULL_HISTOGRAM.quantile(0.5) == 0.0
+        assert NULL_HISTOGRAM.quantile(0.99) == 0.0
+
+    def test_empty_real_histogram_matches_null_behaviour(self):
+        h = Histogram("lat", {})
+        assert h.mean() == 0.0
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_hub_value_on_histogram_reports_count(self):
+        hub = MetricsHub()
+        h = hub.histogram("lat", buckets=(1.0, 2.0))
+        assert hub.value("lat") == 0
+        h.observe(0.5)
+        h.observe(1.5)
+        assert hub.value("lat") == 2
+
+    def test_hub_value_on_gauge(self):
+        hub = MetricsHub()
+        hub.gauge("depth").set(7.0)
+        assert hub.value("depth") == 7.0

@@ -162,3 +162,95 @@ class TestTracedMarkerLogFacade:
         traced.mark(1.0, "detected", ("heartbeat", 0, 1))
         assert traced.first("detected") == 1.0
         assert len(traced._tracer) == 0
+
+
+class TestRingBuffer:
+    """max_events caps in-memory retention without losing subscriber data."""
+
+    def test_unbounded_by_default(self):
+        tr = Tracer()
+        assert tr.max_events is None
+        for i in range(100):
+            tr.emit("server_start", node_id=i)
+        assert len(tr) == 100
+        assert tr.dropped == 0
+
+    def test_cap_drops_oldest(self):
+        tr = Tracer(max_events=3)
+        for i in range(5):
+            tr.emit("server_start", time=float(i), node_id=i)
+        assert tr.max_events == 3
+        assert len(tr) == 3
+        assert [e.data["node_id"] for e in tr.events] == [2, 3, 4]
+        assert tr.dropped == 2
+
+    def test_under_cap_drops_nothing(self):
+        tr = Tracer(max_events=10)
+        for i in range(10):
+            tr.emit("server_start", node_id=i)
+        assert len(tr) == 10
+        assert tr.dropped == 0
+
+    def test_subscribers_see_every_event_beyond_cap(self):
+        tr = Tracer(max_events=2)
+        seen = []
+        tr.subscribe(seen.append)
+        for i in range(6):
+            tr.emit("server_start", node_id=i)
+        assert len(tr) == 2
+        assert [e.data["node_id"] for e in seen] == list(range(6))
+
+    def test_drop_counter_mirrors_drops(self):
+        from repro.obs.metrics import MetricsHub
+
+        hub = MetricsHub()
+        tr = Tracer(max_events=2, drop_counter=hub.counter("trace_events_dropped"))
+        for i in range(5):
+            tr.emit("server_start", node_id=i)
+        assert tr.dropped == 3
+        assert hub.value("trace_events_dropped") == 3.0
+
+    def test_nonpositive_cap_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+        with pytest.raises(ValueError):
+            Tracer(max_events=-5)
+
+    def test_queries_work_on_capped_stream(self):
+        tr = Tracer(max_events=4)
+        for i in range(8):
+            tr.emit("server_start" if i % 2 else "server_crash", node_id=i)
+        assert [e.data["node_id"] for e in tr.events_of("server_start")] == [5, 7]
+        assert tr.first("server_crash").data["node_id"] == 4
+        tr.clear()
+        assert len(tr) == 0
+
+
+class TestTelemetryRingBufferWiring:
+    def test_trace_max_events_registers_drop_metric(self):
+        from repro.obs.telemetry import Telemetry
+
+        tm = Telemetry(trace_max_events=2)
+        assert tm.tracer.max_events == 2
+        assert tm.metrics.get("trace_events_dropped") is not None
+        for i in range(5):
+            tm.tracer.emit("server_start", node_id=i)
+        assert tm.tracer.dropped == 3
+        assert tm.metrics.value("trace_events_dropped") == 3.0
+
+    def test_default_registers_no_drop_metric(self):
+        from repro.obs.telemetry import Telemetry
+
+        tm = Telemetry()
+        assert tm.tracer.max_events is None
+        assert tm.metrics.get("trace_events_dropped") is None
+
+    def test_disabled_bundle_ignores_cap(self):
+        from repro.obs.telemetry import Telemetry
+
+        tm = Telemetry(enabled=False, trace_max_events=2)
+        assert tm.tracer.emit("server_start") is None
+        assert tm.tracer.dropped == 0
+        assert tm.metrics.snapshot() == []
