@@ -6,10 +6,11 @@ bit-reproducible and the fault-handling code never silently swallows or
 reorders events.  This package makes those invariants machine-checked:
 
 ``reprolint`` (:mod:`repro.analysis.lint`)
-    An AST-based lint pass with repo-specific rules (REP001..REP007)
-    covering wall-clock use, unregistered RNGs, swallowed exceptions,
-    unsafe trace payloads, unordered-iteration hazards, mutable default
-    arguments, and suspicious scheduler delays.
+    An AST-based lint pass with repo-specific rules (REP001..REP007,
+    REP013) covering wall-clock use, unregistered RNGs, swallowed
+    exceptions, unsafe trace payloads, unordered-iteration hazards,
+    mutable default arguments, suspicious scheduler delays, and trace
+    contexts dropped on the floor in span-aware code.
 
 flow analysis (:mod:`repro.analysis.flow`, :mod:`repro.analysis.callgraph`)
     A whole-program pass over the module/call graph: interprocedural

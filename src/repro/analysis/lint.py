@@ -64,6 +64,10 @@ _EFFECT_METHODS = frozenset(
 
 _SCHEDULERS = frozenset({"timeout", "schedule", "succeed", "fail"})
 
+#: span-opening methods on a SpanRecorder-ish receiver; binding one of
+#: these marks the enclosing function as span-aware (REP013 scope)
+_SPAN_OPENERS = frozenset({"start", "root", "event", "probe_root"})
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -180,6 +184,32 @@ def _own_statements(func: ast.AST) -> Iterator[ast.AST]:
         for child in ast.iter_child_nodes(node):
             if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 stack.append(child)
+
+
+def _is_span_scope(func: ast.AST) -> bool:
+    """True if ``func`` participates in causal tracing (REP013 scope).
+
+    Span-aware means: it takes a ``ctx`` parameter, or it binds the
+    result of a span-opening call (``<...span...>.start/root/event/
+    probe_root``).  Bare ``event()`` expression statements don't qualify
+    — emitting an annotation on a caller-owned span doesn't make the
+    function responsible for propagating context.
+    """
+    args = func.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+        if arg.arg == "ctx":
+            return True
+    for node in _own_statements(func):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if isinstance(value, ast.Call) \
+                and isinstance(value.func, ast.Attribute) \
+                and value.func.attr in _SPAN_OPENERS:
+            dotted = _dotted_name(value.func.value)
+            if dotted is not None and "span" in dotted.lower():
+                return True
+    return False
 
 
 class _ModuleIndex:
@@ -309,6 +339,7 @@ class _Visitor(ast.NodeVisitor):
         self.is_sim = is_sim
         self.findings: List[Finding] = []
         self._scope: List[int] = [_ModuleIndex.MODULE_SCOPE]
+        self._span_scope: List[bool] = [False]
 
     def _scope_names(self) -> Set[str]:
         out: Set[str] = set()
@@ -455,6 +486,27 @@ class _Visitor(ast.NodeVisitor):
                                f"literal-zero delay in {attr}() schedules a "
                                "same-instant event; make the intended "
                                "ordering explicit")
+
+        # REP013: span-aware code must thread ctx through every hop.  A
+        # **kwargs splat may carry ctx, so it counts as passing it.
+        if self._span_scope[-1]:
+            has_ctx = any(kw.arg == "ctx" or kw.arg is None
+                          for kw in node.keywords)
+            if not has_ctx:
+                ctor = attr
+                if ctor == "Message":
+                    self._emit("REP013", node,
+                               "Message built without ctx= in span-aware "
+                               "code; the trace loses this hop — pass "
+                               "ctx=... (ctx=None for untraced traffic)")
+                elif isinstance(func, ast.Attribute) and attr == "process":
+                    recv = _dotted_name(func.value)
+                    if recv is not None and recv.endswith("env"):
+                        self._emit("REP013", node,
+                                   "env.process() spawned without ctx= in "
+                                   "span-aware code; the child's spans "
+                                   "re-root — pass ctx=... (ctx=None for "
+                                   "untraced work)")
         self.generic_visit(node)
 
     # -- REP003 ----------------------------------------------------------
@@ -524,13 +576,17 @@ class _Visitor(ast.NodeVisitor):
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
         self._scope.append(id(node))
+        self._span_scope.append(_is_span_scope(node))
         self.generic_visit(node)
+        self._span_scope.pop()
         self._scope.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
         self._scope.append(id(node))
+        self._span_scope.append(_is_span_scope(node))
         self.generic_visit(node)
+        self._span_scope.pop()
         self._scope.pop()
 
 

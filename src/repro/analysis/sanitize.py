@@ -35,7 +35,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-FINGERPRINT_SCHEMA = 1
+FINGERPRINT_SCHEMA = 2
 
 #: hash seeds chosen for the two runs; any distinct pair works, these are
 #: merely reproducible documentation of "two different salts".
@@ -59,10 +59,13 @@ def campaign_fingerprint(version_name: str, fault: str, seed: int,
     from repro.experiments.configs import version
     from repro.faults.types import FaultKind
     from repro.obs.export import event_to_dict
+    from repro.obs.spans import spans_digest
     from repro.obs.telemetry import Telemetry
 
     spec = version(version_name)
-    telemetry = Telemetry()
+    # Span tracing rides along so the double-run check also pins the
+    # causal span trees (ids, parentage, sampling) across hash seeds.
+    telemetry = Telemetry(trace_spans=True)
     timeline: Dict[str, Any]
     if smoke:
         from repro.experiments.profiles import SMALL
@@ -107,9 +110,10 @@ def campaign_fingerprint(version_name: str, fault: str, seed: int,
                         "h": chain.hexdigest()[:12]})
     trace_digest = chain.hexdigest()
     metrics_digest = hashlib.sha256(_canonical(metrics)).hexdigest()
+    span_digest = spans_digest(telemetry.spans.spans())
     overall = hashlib.sha256(
         _canonical({"trace": trace_digest, "metrics": metrics_digest,
-                    "timeline": timeline})).hexdigest()
+                    "spans": span_digest, "timeline": timeline})).hexdigest()
     return {
         "schema": FINGERPRINT_SCHEMA,
         "mode": "smoke" if smoke else "campaign",
@@ -121,6 +125,8 @@ def campaign_fingerprint(version_name: str, fault: str, seed: int,
         "events": entries,
         "trace_digest": trace_digest,
         "metrics_digest": metrics_digest,
+        "spans_digest": span_digest,
+        "n_spans": len(telemetry.spans),
         "timeline": timeline,
         "digest": overall,
     }
@@ -158,6 +164,7 @@ class SanitizeResult:
     divergence: Optional[Divergence] = None
     trace_match: bool = True
     metrics_match: bool = True
+    spans_match: bool = True
     timeline_match: bool = True
 
     def to_dict(self) -> Dict[str, Any]:
@@ -169,6 +176,7 @@ class SanitizeResult:
             "hash_seeds": list(self.hash_seeds),
             "trace_match": self.trace_match,
             "metrics_match": self.metrics_match,
+            "spans_match": self.spans_match,
             "timeline_match": self.timeline_match,
             "runs": [strip(r) for r in self.runs],
         }
@@ -187,6 +195,9 @@ def compare_fingerprints(a: Dict[str, Any], b: Dict[str, Any],
     result = SanitizeResult(ok=True, hash_seeds=hash_seeds, runs=[a, b])
     result.trace_match = a["trace_digest"] == b["trace_digest"]
     result.metrics_match = a["metrics_digest"] == b["metrics_digest"]
+    # .get: schema-1 fingerprints predate span tracing; two of those
+    # still compare equal (None == None) rather than failing the check.
+    result.spans_match = a.get("spans_digest") == b.get("spans_digest")
     result.timeline_match = a["timeline"] == b["timeline"]
     if not result.trace_match:
         ea, eb = a["events"], b["events"]
@@ -201,7 +212,7 @@ def compare_fingerprints(a: Dict[str, Any], b: Dict[str, Any],
             b=eb[idx] if idx < len(eb) else None,
         )
     result.ok = (result.trace_match and result.metrics_match
-                 and result.timeline_match)
+                 and result.spans_match and result.timeline_match)
     return result
 
 
@@ -250,6 +261,7 @@ def format_sanitize(result: SanitizeResult) -> str:
         f"{b['n_events']} events, trace {b['trace_digest'][:16]}…",
         f"  trace digests:   {'MATCH' if result.trace_match else 'DIVERGE'}",
         f"  metrics digests: {'MATCH' if result.metrics_match else 'DIVERGE'}",
+        f"  span digests:    {'MATCH' if result.spans_match else 'DIVERGE'}",
         f"  stage timeline:  {'MATCH' if result.timeline_match else 'DIVERGE'}",
     ]
     if result.divergence is not None:

@@ -393,9 +393,9 @@ def build_auction(
             self._target.record_success(time, latency)
             stats.record_success(time, latency)
 
-        def record_failure(self, time, outcome):
-            self._target.record_failure(time, outcome)
-            stats.record_failure(time, outcome)
+        def record_failure(self, time, outcome, latency=None):
+            self._target.record_failure(time, outcome, latency=latency)
+            stats.record_failure(time, outcome, latency=latency)
 
     for op, rate, class_stats, stream in (
         ("read", read_rate, read_stats, "readers"),

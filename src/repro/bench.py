@@ -116,6 +116,9 @@ def format_bench(report: BenchReport, top_n: int = 5) -> str:
                      f"({sc.cells} cell{'s' if sc.cells != 1 else ''})")
         lines.append(f"  overhead unsubscribed: {sc.overhead('unsub'):.3f}x")
         lines.append(f"  overhead exporting   : {sc.overhead('on'):.3f}x")
+        if "spans" in sc.runs:
+            lines.append(f"  overhead span tracing: {sc.overhead('spans'):.3f}x "
+                         f"({sc.runs['spans'].spans_recorded:,} spans)")
         lines.append(f"  digests equal        : "
                      f"{'yes' if sc.digests_equal else 'NO — OBS PERTURBED THE RUN'}")
         by_subsystem = sc.attribution.get("by_subsystem") or {}
@@ -200,9 +203,10 @@ def gate(report: BenchReport, baseline: Dict[str, Any],
                 f"{name}: events/sec {sc.events_per_sec:,.0f} >= floor "
                 f"{floor:,.0f}")
         for mode, key in (("unsub", "max_overhead_unsub"),
-                          ("on", "max_overhead_on")):
+                          ("on", "max_overhead_on"),
+                          ("spans", "max_overhead_spans")):
             ceiling = ceilings.get(key)
-            if ceiling is None:
+            if ceiling is None or mode not in sc.runs:
                 continue
             measured = sc.overhead(mode)
             if measured > ceiling:
@@ -234,6 +238,8 @@ def trend_record(report: BenchReport) -> Dict[str, Any]:
                 "wall_per_cell": sc.wall_per_cell,
                 "overhead_unsub": sc.overhead("unsub"),
                 "overhead_on": sc.overhead("on"),
+                **({"overhead_spans": sc.overhead("spans")}
+                   if "spans" in sc.runs else {}),
             }
             for name, sc in sorted(report.scenarios.items())
         },

@@ -16,7 +16,16 @@ Commands
     One single-fault experiment with a throughput timeline.
 ``trace VERSION FAULT``
     One single-fault experiment, emitting the structured telemetry trace
-    (JSONL by default, ``--format csv`` for spreadsheets).
+    (JSONL by default, ``--format csv`` for spreadsheets; ``--kind`` /
+    ``--component`` / ``--limit`` select a subset).
+``spans VERSION FAULT``
+    One single-fault experiment under causal request tracing: per-request
+    span trees.  ``--waterfall REQ`` renders one request's ASCII
+    waterfall, ``--critical-path REQ`` its per-hop latency attribution,
+    and the default ``--blame`` groups the p99-slowest requests by
+    critical-path signature and dominant hop before/during/after the
+    fault.  ``--sample``/``--max-requests`` bound the recording cost;
+    ``--out`` exports spans as JSONL trace events.
 ``metrics VERSION``
     Fault-free run; dump the metrics registry snapshot (histograms include
     p50/p90/p99).
@@ -44,7 +53,7 @@ Commands
 ``validate VERSION``
     Empirical model validation under a random fault load.
 ``lint [PATH ...]``
-    Repo-native static analysis (reprolint, rules REP001..REP012) over
+    Repo-native static analysis (reprolint, rules REP001..REP013) over
     the source tree; ``--flow`` adds the whole-program call-graph pass,
     ``--diff REF`` restricts reporting to files changed since a git ref,
     ``--format json`` for the CI artifact.
@@ -78,6 +87,7 @@ from repro.experiments.configs import VERSIONS, version
 from repro.faults.types import FaultKind
 from repro.obs.export import (
     event_to_dict,
+    filter_events,
     format_metrics,
     write_csv,
     write_jsonl,
@@ -220,7 +230,9 @@ def cmd_trace(args) -> int:
     telemetry = Telemetry()
     trace, _world = run_single_fault(_version(args.version), kind, config,
                                      target=args.target, telemetry=telemetry)
-    events = telemetry.tracer.events
+    events = filter_events(telemetry.tracer.events, kinds=args.kind or None,
+                           components=args.component or None,
+                           limit=args.limit)
     writer = write_csv if args.format == "csv" else write_jsonl
     if args.out:
         n = writer(events, args.out)
@@ -233,6 +245,77 @@ def cmd_trace(args) -> int:
           file=sys.stderr)
     print(f"inject={trace.t_inject:.1f} detect={trace.t_detect} "
           f"repair={trace.t_repair:.1f} end={trace.t_end:.1f}", file=sys.stderr)
+    return 0
+
+
+def cmd_spans(args) -> int:
+    from repro.obs.spans import (
+        analyze_tree,
+        blame_report,
+        filter_spans,
+        format_blame,
+        format_critical_path,
+        phases_from_trace,
+        render_waterfall,
+        span_event,
+        spans_digest,
+    )
+
+    config = _config(args)
+    kind = FaultKind(args.fault)
+    telemetry = Telemetry(trace_spans=True, span_sample=args.sample,
+                          span_seed=args.span_seed,
+                          span_max_requests=args.max_requests)
+    run_single_fault(_version(args.version), kind, config,
+                     target=args.target, telemetry=telemetry)
+    spans = telemetry.spans
+
+    if args.out:
+        selected = filter_spans(spans.spans(), kinds=args.kind or None,
+                                components=args.component or None,
+                                limit=args.limit)
+        n = write_jsonl((span_event(s) for s in selected), args.out)
+        print(f"{n} spans exported to {args.out}", file=sys.stderr)
+
+    if args.waterfall is not None:
+        tree = spans.tree(args.waterfall)
+        if not tree:
+            ids = spans.request_ids
+            print(f"error: request {args.waterfall} was not sampled "
+                  f"({len(ids)} trees recorded"
+                  + (f"; e.g. {ids[:5]}" if ids else "") + ")",
+                  file=sys.stderr)
+            return 1
+        if args.json:
+            record = analyze_tree(args.waterfall, tree)
+            print(json.dumps(record, sort_keys=True))
+        else:
+            print(render_waterfall(tree))
+        return 0
+
+    if args.critical_path is not None:
+        tree = spans.tree(args.critical_path)
+        record = analyze_tree(args.critical_path, tree) if tree else None
+        if record is None:
+            print(f"error: request {args.critical_path} was not sampled",
+                  file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(record, sort_keys=True))
+        else:
+            print(format_critical_path(record))
+        return 0
+
+    # default: the tail-latency blame report, phased around the fault
+    phases = phases_from_trace(telemetry.tracer.events)
+    report = blame_report(spans.trees(), percentile=args.percentile,
+                          phases=phases, top=args.top)
+    report["digest"] = spans_digest(spans.spans())
+    report["dropped_trees"] = spans.dropped
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(format_blame(report))
     return 0
 
 
@@ -724,8 +807,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("jsonl", "csv"), default="jsonl")
     p.add_argument("--out", default=None,
                    help="write events to this file instead of stdout")
+    p.add_argument("--kind", action="append", default=[],
+                   help="only events of this kind (repeatable)")
+    p.add_argument("--component", action="append", default=[],
+                   help="only events from this source component (repeatable)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="stop after this many matching events")
     _add_common(p)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("spans",
+                       help="one single-fault experiment under causal "
+                            "request tracing: waterfalls, critical paths, "
+                            "tail-latency blame")
+    p.add_argument("version")
+    p.add_argument("fault", choices=[k.value for k in FaultKind])
+    p.add_argument("--target", default=None)
+    p.add_argument("--waterfall", type=int, default=None, metavar="REQ",
+                   help="render request REQ's span tree as an ASCII "
+                        "waterfall")
+    p.add_argument("--critical-path", type=int, default=None, metavar="REQ",
+                   help="request REQ's critical path with per-hop "
+                        "latency attribution")
+    p.add_argument("--blame", action="store_true",
+                   help="tail-latency blame report per fault phase "
+                        "(the default mode)")
+    p.add_argument("--percentile", type=float, default=99.0,
+                   help="tail percentile for --blame (default 99)")
+    p.add_argument("--top", type=int, default=5,
+                   help="signature groups per phase in --blame")
+    p.add_argument("--sample", type=float, default=1.0,
+                   help="head-sampling fraction (deterministic in req_id)")
+    p.add_argument("--span-seed", type=int, default=0,
+                   help="sampling seed (varies which requests are kept)")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="ring-buffer retention: keep at most this many "
+                        "newest request trees")
+    p.add_argument("--kind", action="append", default=[],
+                   help="--out filter: only spans of this category "
+                        "(repeatable)")
+    p.add_argument("--component", action="append", default=[],
+                   help="--out filter: only spans from this node "
+                        "(repeatable)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="--out filter: cap exported spans")
+    p.add_argument("--out", default=None,
+                   help="also export the (filtered) spans as JSONL "
+                        "trace events")
+    _add_common(p, json_flag=True)
+    p.set_defaults(fn=cmd_spans)
 
     p = sub.add_parser("metrics",
                        help="fault-free run; dump the metrics registry")
@@ -829,7 +959,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("lint",
                        help="repo-native static analysis "
-                            "(reprolint rules REP001..REP012)")
+                            "(reprolint rules REP001..REP013)")
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
     p.add_argument("--format", choices=("text", "json"), default="text")

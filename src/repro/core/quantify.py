@@ -297,7 +297,11 @@ def run_cell(cell: CampaignCell, config: QuantifyConfig) -> Dict[str, Any]:
     spec = version_by_name(cell.version)
     if cell.seed != config.seed:
         config = replace(config, seed=cell.seed)
-    telemetry = Telemetry()
+    # REPRO_CELL_SPANS opts workers into causal tracing; the default-off
+    # path keeps cell documents byte-identical to pre-span tooling, and
+    # the digest is how the jobs=1 ≡ jobs=2 contract extends to spans.
+    trace_spans = bool(os.environ.get("REPRO_CELL_SPANS"))
+    telemetry = Telemetry(trace_spans=trace_spans)
     trace, world = run_single_fault(spec, cell.kind, config,
                                     target=cell.target, telemetry=telemetry)
     record = FlightRecord.from_experiment(
@@ -307,11 +311,17 @@ def run_cell(cell: CampaignCell, config: QuantifyConfig) -> Dict[str, Any]:
         profile=config.profile.name,
         target=cell.target or world.default_target(cell.kind),
     )
-    return {
+    doc = {
         "schema": CELL_DOC_SCHEMA,
         "cell": cell.to_dict(),
         "record": record.to_dict(),
     }
+    if trace_spans:
+        from repro.obs.spans import spans_digest
+
+        doc["spans_digest"] = spans_digest(telemetry.spans.spans())
+        doc["n_spans"] = len(telemetry.spans)
+    return doc
 
 
 def quantify_from_cell_docs(

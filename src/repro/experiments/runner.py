@@ -216,7 +216,8 @@ def build_world(
     fme_daemons: List[FmeDaemon] = []
     if spec.fme:
         for host, server in zip(hosts, servers):
-            fme_daemons.append(FmeDaemon(host, server, FmeConfig(), markers))
+            fme_daemons.append(FmeDaemon(host, server, FmeConfig(), markers,
+                                         telemetry=telemetry))
 
     for host in hosts:
         host.start_all()

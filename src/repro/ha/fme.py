@@ -33,6 +33,7 @@ from repro.ha.faultmodel import (
     Symptoms,
 )
 from repro.hardware.host import Host, NodeService
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.conditions import AnyOf
 from repro.sim.kernel import Environment
 from repro.sim.series import MarkerLog
@@ -59,12 +60,15 @@ class FmeDaemon(NodeService):
         config: FmeConfig = FmeConfig(),
         markers: Optional[MarkerLog] = None,
         model: FaultModel = PRESS_FAULT_MODEL,
+        telemetry: Optional[Telemetry] = None,
     ):
         super().__init__(host)
         self.app = app
         self.config = config
         self.model = model
         self.markers = markers if markers is not None else MarkerLog()
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._spans = tm.spans
         self.enforcements = 0
 
     def start(self) -> None:
@@ -78,15 +82,22 @@ class FmeDaemon(NodeService):
         cfg = self.config
         while True:
             yield self.env.timeout(cfg.probe_interval)
-            disk_ok = yield from self._probe_disks()
-            app_ok = yield from self._probe_app()
+            # Probe rounds trace in the monitoring namespace (negative
+            # req_ids) so request blame reports can exclude them.
+            round_span = self._spans.probe_root("fme_probe", self.host.name)
+            disk_ok = yield from self._probe_disks(round_span)
+            app_ok = yield from self._probe_app(round_span)
+            self._spans.finish(round_span, disk_ok=disk_ok, app_ok=app_ok)
             if disk_ok and app_ok:
                 continue
             # Confirm with a second observation round before acting
             # (transient overload must not trigger enforcement).
             yield self.env.timeout(cfg.confirm_delay)
-            disk_ok = yield from self._probe_disks()
-            app_ok = yield from self._probe_app()
+            round_span = self._spans.probe_root("fme_probe", self.host.name,
+                                                confirm=True)
+            disk_ok = yield from self._probe_disks(round_span)
+            app_ok = yield from self._probe_app(round_span)
+            self._spans.finish(round_span, disk_ok=disk_ok, app_ok=app_ok)
             symptoms = Symptoms(disks_ok=disk_ok, app_responsive=app_ok,
                                 confirmations=2)
             action = self.model.enforce(symptoms)
@@ -96,22 +107,29 @@ class FmeDaemon(NodeService):
             if action is EnforcementAction.RESTART_APP:
                 self._restart_app()
 
-    def _probe_disks(self):
+    def _probe_disks(self, ctx=None):
         """True iff every local disk answers a controller probe in time."""
         cfg = self.config
         for disk in self.host.disks:
+            span = self._spans.start("disk_probe", "probe", self.host.name,
+                                     ctx)
             done = disk.probe()
             deadline = self.env.timeout(cfg.probe_timeout)
             yield AnyOf(self.env, [done, deadline])
             if not done.triggered:
+                self._spans.finish(span, outcome="timeout")
                 return False
+            self._spans.finish(span, outcome="ok")
         return True
 
-    def _probe_app(self):
+    def _probe_app(self, ctx=None):
         cfg = self.config
+        span = self._spans.start("http_probe", "probe", self.host.name, ctx)
         ev = self.app.http_probe()
         deadline = self.env.timeout(cfg.probe_timeout)
         yield AnyOf(self.env, [ev, deadline])
+        self._spans.finish(span,
+                           outcome="ok" if ev.triggered else "timeout")
         return ev.triggered
 
     # -- enforcement actions -----------------------------------------------

@@ -75,6 +75,7 @@ class FrontEnd(Router):
         self.config = config
         self.markers = markers if markers is not None else MarkerLog()
         tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._spans = tm.spans
         m = tm.metrics
         self._c_probes = m.counter("fe_probes", node=host.name)
         self._c_probe_fail = m.counter("fe_probe_failures", node=host.name)
@@ -95,13 +96,20 @@ class FrontEnd(Router):
     # -- routing (Router interface) ----------------------------------------
     def pick(self, request: Request):
         if not self._functioning:
+            self._spans.event(request.ctx, "route", "route", self.host.name,
+                              choice="none", reason="fe_down")
             return None
         candidates = [b for b in self.backends
                       if self.active[id(b)] and id(b) not in self._forced_out]
         if not candidates:
+            self._spans.event(request.ctx, "route", "route", self.host.name,
+                              choice="none", reason="no_backends")
             return None
         backend = candidates[self._rr % len(candidates)]
         self._rr += 1
+        # Zero-duration routing-decision span: which backend, table size.
+        self._spans.event(request.ctx, "route", "route", self.host.name,
+                          choice=backend.host.name, active=len(candidates))
         return backend
 
     # -- Mon ------------------------------------------------------------------

@@ -70,18 +70,24 @@ class Message:
     """A typed intra-cluster message.
 
     ``kind`` must be a member of :data:`WIRE_KINDS`; ``size`` in bytes
-    feeds the network transfer-time model.
+    feeds the network transfer-time model.  ``ctx`` is the optional
+    trace context (the sender's :class:`~repro.obs.spans.Span`): it
+    threads causal request tracing across the wire so the receiver can
+    parent its spans correctly.  ``None`` (the default, and always the
+    value when tracing is off) costs the hot path nothing.
     """
 
-    __slots__ = ("kind", "src", "dst", "payload", "size")
+    __slots__ = ("kind", "src", "dst", "payload", "size", "ctx")
 
-    def __init__(self, kind: str, src: Any, dst: Any, payload: Any = None, size: int = 128):
+    def __init__(self, kind: str, src: Any, dst: Any, payload: Any = None,
+                 size: int = 128, ctx: Any = None):
         assert kind in WIRE_KINDS, f"unknown wire kind {kind!r}"
         self.kind = kind
         self.src = src
         self.dst = dst
         self.payload = payload
         self.size = size
+        self.ctx = ctx
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Msg {self.kind} {self.src}->{self.dst}>"

@@ -119,6 +119,15 @@ class Endpoint:
     def _send_body(self, msg: Any, size: int):
         env = self.conn.env
         net = self.conn.net
+        # Wire span for traced messages: transfer time + unreachable
+        # retries + flow-control blocking all land on this hop.
+        ctx = getattr(msg, "ctx", None)
+        spans = env.spans if ctx is not None else None
+        span = None
+        if spans is not None:
+            span = spans.start("net", "network", self.host.name, ctx,
+                               dst=self.peer.name,
+                               kind=getattr(msg, "kind", None))
         try:
             while True:
                 if not self.conn.open:
@@ -130,11 +139,17 @@ class Endpoint:
                     if net.reachable(self.host, self.peer):
                         remote = self.conn.endpoint(self.peer).buffer
                         yield remote.put(msg)  # flow control: blocks while full
+                        if span is not None:
+                            spans.finish(span, outcome="delivered")
                         return
                 else:
                     yield env.timeout(RETRY_INTERVAL)
         except Interrupt:
             raise ConnectionClosed(f"to {self.peer.name}") from None
+        finally:
+            # Reset/kill while in flight: close the hop at abort time.
+            if span is not None and span.t1 is None:
+                spans.finish(span, outcome="reset")
 
     # -- receiving -----------------------------------------------------------
     def recv(self):

@@ -41,6 +41,7 @@ from repro.obs.export import (
     dumps_jsonl,
     event_from_dict,
     event_to_dict,
+    filter_events,
     format_metrics,
     jsonl_subscriber,
     read_csv,
@@ -66,6 +67,20 @@ from repro.obs.metrics import (
     NULL_COUNTER,
     NULL_GAUGE,
     NULL_HISTOGRAM,
+)
+from repro.obs.spans import (
+    NULL_SPANS,
+    Span,
+    SpanRecorder,
+    blame_report,
+    critical_path,
+    filter_spans,
+    format_blame,
+    render_waterfall,
+    span_event,
+    span_from_dict,
+    span_to_dict,
+    spans_digest,
 )
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.trace import TracedMarkerLog, Tracer
@@ -163,6 +178,18 @@ __all__ = [
     "sanitize",
     "Tracer",
     "TracedMarkerLog",
+    "NULL_SPANS",
+    "Span",
+    "SpanRecorder",
+    "blame_report",
+    "critical_path",
+    "filter_spans",
+    "format_blame",
+    "render_waterfall",
+    "span_event",
+    "span_from_dict",
+    "span_to_dict",
+    "spans_digest",
     "Counter",
     "Gauge",
     "Histogram",
@@ -181,6 +208,7 @@ __all__ = [
     "NULL_TELEMETRY",
     "event_to_dict",
     "event_from_dict",
+    "filter_events",
     "write_jsonl",
     "read_jsonl",
     "dumps_jsonl",

@@ -36,6 +36,7 @@ kind                   data fields
 ``request_failed``     ``fid``, ``outcome``
 ``request_ok``         ``fid``, ``latency`` (opt-in; see Telemetry)
 ``operator_reset``     ``fault``, ``target``
+``span``               one causal span (see :mod:`repro.obs.spans`)
 =====================  ========================================================
 
 Unknown marker labels pass through with ``kind`` equal to the label and a
@@ -76,6 +77,7 @@ class EventKind:
     REQUEST_FAILED = "request_failed"
     REQUEST_OK = "request_ok"
     OPERATOR_RESET = "operator_reset"
+    SPAN = "span"
 
 
 #: Every kind the schema above documents.

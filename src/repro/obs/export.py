@@ -18,7 +18,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any, Dict, Iterable, List, TextIO, Union
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
 
 from repro.obs.events import TraceEvent
 
@@ -33,6 +33,29 @@ def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
 def event_from_dict(d: Dict[str, Any]) -> TraceEvent:
     return TraceEvent(time=float(d["time"]), kind=str(d["kind"]),
                       source=str(d.get("source", "")), data=dict(d.get("data", {})))
+
+
+def filter_events(events: Iterable[TraceEvent],
+                  kinds: Optional[Iterable[str]] = None,
+                  components: Optional[Iterable[str]] = None,
+                  limit: Optional[int] = None) -> List[TraceEvent]:
+    """Select events by kind and/or source component, capped at ``limit``.
+
+    The shared selection layer behind ``repro trace`` / ``repro spans``
+    filters; empty/None selectors pass everything through.
+    """
+    kind_set = {str(k) for k in kinds} if kinds else None
+    comp_set = {str(c) for c in components} if components else None
+    out: List[TraceEvent] = []
+    for ev in events:
+        if kind_set is not None and ev.kind not in kind_set:
+            continue
+        if comp_set is not None and ev.source not in comp_set:
+            continue
+        out.append(ev)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
 
 
 def _open_for_write(dst: PathOrFile):

@@ -44,8 +44,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.obs.export import jsonl_subscriber
 from repro.obs.telemetry import Telemetry
 
-#: the three observability configurations every scenario is measured under
-OBS_MODES: Tuple[str, ...] = ("off", "unsub", "on")
+#: the observability configurations every scenario is measured under:
+#: off / enabled-unsubscribed / fully exporting / causal span tracing
+OBS_MODES: Tuple[str, ...] = ("off", "unsub", "on", "spans")
 
 #: schema of the BENCH_kernel.json / TREND.jsonl records
 BENCH_SCHEMA = 1
@@ -168,6 +169,7 @@ class ModeRun:
     events_scheduled: int
     trace_events: int
     digest: str
+    spans_recorded: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -183,12 +185,16 @@ class ModeRun:
             "events_per_sec": self.events_per_sec,
             "trace_events": self.trace_events,
             "digest": self.digest,
+            "spans_recorded": self.spans_recorded,
         }
 
 
 def _telemetry_for(mode: str, sink) -> Telemetry:
     if mode == "off":
         return Telemetry.disabled()
+    if mode == "spans":
+        # Full causal tracing: every request grows a span tree.
+        return Telemetry(trace_spans=True)
     telemetry = Telemetry()
     if mode == "on":
         telemetry.tracer.subscribe(jsonl_subscriber(sink))
@@ -216,6 +222,7 @@ def measure_mode(scenario: Scenario, mode: str) -> ModeRun:
         events_scheduled=sum(w.env.scheduled_count for w in worlds),
         trace_events=len(telemetry.tracer),
         digest=worlds_digest(worlds),
+        spans_recorded=len(telemetry.spans) if telemetry.trace_spans else 0,
     )
 
 
@@ -296,6 +303,8 @@ class ScenarioReport:
             "wall_per_cell": self.wall_per_cell,
             "overhead_unsub": self.overhead("unsub"),
             "overhead_on": self.overhead("on"),
+            "overhead_spans": self.overhead("spans")
+            if "spans" in self.runs else None,
             "digests_equal": self.digests_equal,
             "attribution": self.attribution,
             "attribution_digest": self.attribution_digest,

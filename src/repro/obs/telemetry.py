@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.obs.kernelprof import KernelProfiler, TimingProfiler
 from repro.obs.metrics import MetricsHub
+from repro.obs.spans import SpanRecorder
 from repro.obs.trace import TracedMarkerLog, Tracer
 
 
@@ -36,13 +37,25 @@ class Telemetry:
     the hub.  Unset (the default), nothing changes: the stream is
     unbounded and no extra metric series is registered, so existing
     digests are untouched.
+
+    ``trace_spans=True`` turns on causal request tracing
+    (:mod:`repro.obs.spans`): per-request span trees threaded through
+    client, front-end, PRESS servers, peer fetches, and disk queues.
+    ``span_sample`` is the deterministic head-sampling rate (keyed on
+    ``req_id`` with ``span_seed``), and ``span_max_requests`` ring-
+    bounds retention per request tree.  Off by default: no contexts are
+    created, so the simulation is event-identical to an untraced run.
     """
 
-    __slots__ = ("enabled", "tracer", "metrics", "profiler", "trace_requests")
+    __slots__ = ("enabled", "tracer", "metrics", "profiler", "trace_requests",
+                 "spans", "trace_spans")
 
     def __init__(self, enabled: bool = True, profile_kernel: bool = False,
                  trace_requests: bool = False, profile_time: bool = False,
-                 trace_max_events: Optional[int] = None):
+                 trace_max_events: Optional[int] = None,
+                 trace_spans: bool = False, span_sample: float = 1.0,
+                 span_seed: int = 0,
+                 span_max_requests: Optional[int] = None):
         self.enabled = enabled
         self.metrics = MetricsHub(enabled=enabled)
         drop_counter = (self.metrics.counter("trace_events_dropped")
@@ -54,6 +67,10 @@ class Telemetry:
             profiler = TimingProfiler() if profile_time else KernelProfiler()
         self.profiler = profiler
         self.trace_requests = bool(enabled and trace_requests)
+        self.trace_spans = bool(enabled and trace_spans)
+        self.spans = SpanRecorder(enabled=self.trace_spans,
+                                  sample=span_sample, seed=span_seed,
+                                  max_requests=span_max_requests)
 
     @classmethod
     def disabled(cls) -> "Telemetry":
@@ -64,6 +81,11 @@ class Telemetry:
         self.tracer.bind_clock(env)
         if self.profiler is not None:
             env.set_monitor(self.profiler)
+        if self.trace_spans:
+            # Only bind when tracing is on: env.spans stays None on the
+            # untraced fast path (transport/fabric check it per send).
+            self.spans.bind_clock(env)
+            env.bind_spans(self.spans)
 
     def marker_log(self) -> TracedMarkerLog:
         """A MarkerLog that mirrors every mark into the tracer."""

@@ -41,6 +41,11 @@ class LruCache:
     def __contains__(self, fid: int) -> bool:
         return fid in self._entries
 
+    def peek(self, fid: int) -> bool:
+        """Hit test with no side effects: recency order and the
+        hit/miss counters stay untouched (observability probes)."""
+        return fid in self._entries
+
     def lookup(self, fid: int) -> bool:
         """Hit test; a hit refreshes recency."""
         if fid in self._entries:

@@ -56,17 +56,28 @@ class ClusterFabric:
         return conn
 
     # -- UDP control plane ----------------------------------------------------------
-    def control_broadcast(self, src_server, kind: str, payload=None, size: int = 128) -> None:
-        """Datagram to every registered server's control inbox (incl. self)."""
+    def control_broadcast(self, src_server, kind: str, payload=None, size: int = 128,
+                          ctx=None) -> None:
+        """Datagram to every registered server's control inbox (incl. self).
+
+        ``ctx`` attributes the broadcast to the request that caused it
+        (e.g. a cache_add after a demand fetch): one zero-duration "ctl"
+        span is recorded under it when that request is being traced.
+        """
+        spans = self.env.spans
+        if ctx is not None and spans is not None:
+            spans.event(ctx, "ctl", "route", src_server.host.name, kind=kind)
         for server in self._servers.values():
             if not server.alive:
                 continue
-            msg = Message(kind, src_server.node_id, server.node_id, payload, size)
+            msg = Message(kind, src_server.node_id, server.node_id, payload, size,
+                          ctx=ctx)
             self.net.datagram(src_server.host, server.host, msg, server.ctl_q)
 
-    def control_send(self, src_server, dst_id: int, kind: str, payload=None, size: int = 128) -> None:
+    def control_send(self, src_server, dst_id: int, kind: str, payload=None, size: int = 128,
+                     ctx=None) -> None:
         dst = self._servers.get(dst_id)
         if dst is None or not dst.alive:
             return
-        msg = Message(kind, src_server.node_id, dst_id, payload, size)
+        msg = Message(kind, src_server.node_id, dst_id, payload, size, ctx=ctx)
         self.net.datagram(src_server.host, dst.host, msg, dst.ctl_q)

@@ -49,14 +49,19 @@ _CTL_MSG_SIZE = 128
 class DiskFetch:
     """A pending disk read: either for a local client or a remote peer."""
 
-    __slots__ = ("fid", "request", "origin", "reqid")
+    __slots__ = ("fid", "request", "origin", "reqid", "ctx")
 
     def __init__(self, fid: int, request: Optional[Request] = None,
-                 origin: Optional[int] = None, reqid: Optional[int] = None):
+                 origin: Optional[int] = None, reqid: Optional[int] = None,
+                 ctx=None):
         self.fid = fid
         self.request = request
         self.origin = origin
         self.reqid = reqid
+        # Trace context: the requester's span at creation; _to_disk
+        # replaces it with this fetch's own open "disk" span so
+        # _handle_disk_done can close it.  None when tracing is off.
+        self.ctx = ctx
 
 
 class PeerLink:
@@ -112,6 +117,7 @@ class PressServer(NodeService):
         self.markers = markers if markers is not None else MarkerLog()
         tm = telemetry if telemetry is not None else NULL_TELEMETRY
         self._tracer = tm.tracer
+        self._spans = tm.spans
         m, node = tm.metrics, host.name
         self._c_hits = m.counter("press_cache_hits", node=node)
         self._c_misses = m.counter("press_cache_misses", node=node)
@@ -158,6 +164,11 @@ class PressServer(NodeService):
         self.links: Dict[int, PeerLink] = {}
         self.loads: Dict[int, int] = {}
         self.fwd_pending: Dict[int, Request] = {}
+        # Open spans for sampled requests, keyed on deterministic ids:
+        # req_id -> main-queue wait span, reqid -> peer-fetch span.
+        # Empty whenever tracing is off.
+        self._q_spans: Dict[int, object] = {}
+        self._fwd_spans: Dict[int, object] = {}
         self.client_pending = 0
         self._next_reqid = 0
         self._progress = 0
@@ -212,6 +223,8 @@ class PressServer(NodeService):
         self.links.clear()
         self.coop = {self.node_id}
         self.fwd_pending.clear()
+        self._q_spans.clear()  # their spans stay open; analysis clamps them
+        self._fwd_spans.clear()
         self.client_pending = 0
 
     # ------------------------------------------------------------------
@@ -232,6 +245,12 @@ class PressServer(NodeService):
         if self.client_pending >= self.config.accept_backlog:
             return False
         self.client_pending += 1
+        if req.ctx is not None:
+            # Queue-wait span: accepted -> dequeued by the main thread.
+            # peek() keeps the LRU recency and hit/miss counters untouched.
+            self._q_spans[req.req_id] = self._spans.start(
+                "mainq", "queue", self.host.name, ctx=req.ctx,
+                cached=self.cache.peek(req.fid))
         self.main_q.force_put(("client", req))
         return True
 
@@ -304,19 +323,25 @@ class PressServer(NodeService):
 
     def _handle_client(self, req: Request):
         cfg = self.config
+        if req.ctx is not None:
+            self._spans.finish(self._q_spans.pop(req.req_id, None))
         yield self.env.timeout(cfg.cpu_parse)
         if req.expired:  # client gave up while we were queued
             self.client_pending -= 1
             return
         if self.cache.lookup(req.fid):
+            serve = self._spans.start("serve", "service", self.host.name,
+                                      ctx=req.ctx, cache="hit")
             yield self.env.timeout(cfg.cpu_serve)
+            self._spans.finish(serve)
             self._respond(req)
             return
         target = self._pick_service_node(req.fid)
         if target is not None:
             yield from self._forward(req, target)
         else:
-            yield from self._to_disk(DiskFetch(req.fid, request=req))
+            yield from self._to_disk(DiskFetch(req.fid, request=req,
+                                               ctx=req.ctx))
 
     def _pick_service_node(self, fid: int) -> Optional[int]:
         # Sorted so equal-load ties break toward the lowest node id on
@@ -338,17 +363,25 @@ class PressServer(NodeService):
         yield self.env.timeout(cfg.cpu_forward)
         link = self.links.get(target)
         if link is None:  # excluded while we were parsing
-            yield from self._to_disk(DiskFetch(req.fid, request=req))
+            yield from self._to_disk(DiskFetch(req.fid, request=req,
+                                               ctx=req.ctx))
             return
         self._c_forwards.inc()
         self._next_reqid += 1
         reqid = self._next_reqid
+        # Peer-fetch span: forward decision -> fwd_resp (or give-up); the
+        # context rides on the message so the remote side parents under it.
+        fetch_span = self._spans.start("peer_fetch", "network",
+                                       self.host.name, ctx=req.ctx,
+                                       target=target)
         msg = Message("fwd_req", self.node_id, target,
                       {"fid": req.fid, "reqid": reqid, "load": self.load},
-                      size=_REQ_MSG_SIZE)
+                      size=_REQ_MSG_SIZE, ctx=fetch_span)
         disposition = self._dispatch_to_peer(link, msg, is_request=True)
         if disposition == "blockingly":
             self.fwd_pending[reqid] = req
+            if fetch_span is not None:
+                self._fwd_spans[reqid] = fetch_span
             link.pending_requests += 1
             # COOP: the main thread blocks here (bounded by the OS send
             # timeout; see PressConfig.send_block_timeout).
@@ -356,11 +389,18 @@ class PressServer(NodeService):
             if not delivered:
                 link.pending_requests = max(0, link.pending_requests - 1)
                 self.fwd_pending.pop(reqid, None)
-                yield from self._to_disk(DiskFetch(req.fid, request=req))
+                self._spans.finish(self._fwd_spans.pop(reqid, None),
+                                   outcome="undelivered")
+                yield from self._to_disk(DiskFetch(req.fid, request=req,
+                                                   ctx=req.ctx))
         elif disposition == "sent":
             self.fwd_pending[reqid] = req
+            if fetch_span is not None:
+                self._fwd_spans[reqid] = fetch_span
         else:  # rerouted or peer declared failed: serve from our own disk
-            yield from self._to_disk(DiskFetch(req.fid, request=req))
+            self._spans.finish(fetch_span, outcome=disposition)
+            yield from self._to_disk(DiskFetch(req.fid, request=req,
+                                               ctx=req.ctx))
 
     #: message kinds that may be dropped under pressure in every version:
     #: caching information is advisory (piggybacked/lossy in real PRESS) and
@@ -423,6 +463,12 @@ class PressServer(NodeService):
         return "reroute" if is_request else "dropped"
 
     def _to_disk(self, fetch: DiskFetch):
+        if fetch.ctx is not None:
+            # Swap the requester's context for this fetch's own open
+            # "disk" span (queue + device + coalesced wait time);
+            # _handle_disk_done closes it.
+            fetch.ctx = self._spans.start("disk", "disk", self.host.name,
+                                          ctx=fetch.ctx, fid=fetch.fid)
         waiters = self.pending_fetch.get(fetch.fid)
         if waiters is not None:
             waiters.append(fetch)  # a read for this file is already queued
@@ -440,17 +486,25 @@ class PressServer(NodeService):
             self.loads[msg.src] = payload["load"]
         if msg.kind == "fwd_req":
             self._c_remote.inc()
+            remote = self._spans.start("remote_serve", "service",
+                                       self.host.name, ctx=msg.ctx)
             yield self.env.timeout(cfg.cpu_remote_serve)
             fid = payload["fid"]
             if self.cache.lookup(fid):
-                yield from self._send_fwd_resp(msg.src, payload["reqid"], fid)
+                self._spans.finish(remote, cache="hit")
+                yield from self._send_fwd_resp(msg.src, payload["reqid"],
+                                               fid, ctx=msg.ctx)
             else:
+                self._spans.finish(remote, cache="miss")
                 yield from self._to_disk(
-                    DiskFetch(fid, origin=msg.src, reqid=payload["reqid"])
+                    DiskFetch(fid, origin=msg.src, reqid=payload["reqid"],
+                              ctx=msg.ctx)
                 )
         elif msg.kind == "fwd_resp":
             yield self.env.timeout(cfg.cpu_response)
             req = self.fwd_pending.pop(payload["reqid"], None)
+            self._spans.finish(self._fwd_spans.pop(payload["reqid"], None),
+                               outcome="ok")
             if req is not None:
                 self._respond(req)
         elif msg.kind == "cache_add":
@@ -463,13 +517,13 @@ class PressServer(NodeService):
             yield self.env.timeout(cfg.cpu_control)
             self.directory.replace_node(msg.src, payload["fids"])
 
-    def _send_fwd_resp(self, origin: int, reqid: int, fid: int):
+    def _send_fwd_resp(self, origin: int, reqid: int, fid: int, ctx=None):
         link = self.links.get(origin)
         if link is None:
             return
         msg = Message("fwd_resp", self.node_id, origin,
                       {"reqid": reqid, "fid": fid, "load": self.load},
-                      size=self.trace.file_size(fid))
+                      size=self.trace.file_size(fid), ctx=ctx)
         disposition = self._dispatch_to_peer(link, msg, is_request=False)
         if disposition == "blockingly":
             yield from self._blocking_enqueue(link, msg)
@@ -491,6 +545,8 @@ class PressServer(NodeService):
         cfg = self.config
         yield self.env.timeout(cfg.cpu_disk_done)
         waiters = self.pending_fetch.pop(fid, [])
+        for fetch in waiters:
+            self._spans.finish(fetch.ctx)
         # One cached copy cluster-wide (PRESS's global memory management):
         # a locally-fetched file that some peer already caches is served
         # from disk but *not* cached again — whether the local fetch came
@@ -506,9 +562,12 @@ class PressServer(NodeService):
         )
         if cache_it:
             evicted = self.cache.insert(fid)
-            yield from self._broadcast_cache_update("cache_add", fid)
+            # Blame the cooperation overhead on the request that caused it.
+            ctx = next((f.ctx for f in waiters if f.ctx is not None), None)
+            yield from self._broadcast_cache_update("cache_add", fid, ctx=ctx)
             if evicted is not None:
-                yield from self._broadcast_cache_update("cache_del", evicted)
+                yield from self._broadcast_cache_update("cache_del", evicted,
+                                                        ctx=ctx)
         for fetch in waiters:
             if fetch.request is not None:
                 if fetch.request.expired:
@@ -519,9 +578,10 @@ class PressServer(NodeService):
                 yield self.env.timeout(cfg.cpu_serve)
                 self._respond(fetch.request)
             elif fetch.origin is not None:
-                yield from self._send_fwd_resp(fetch.origin, fetch.reqid, fetch.fid)
+                yield from self._send_fwd_resp(fetch.origin, fetch.reqid,
+                                               fetch.fid, ctx=fetch.ctx)
 
-    def _broadcast_cache_update(self, kind: str, fid: int):
+    def _broadcast_cache_update(self, kind: str, fid: int, ctx=None):
         # Caching actions are broadcast as datagrams on the control plane:
         # locality information is advisory (lost updates only cost a stale
         # directory entry) and must keep flowing even when the data-path
@@ -529,7 +589,8 @@ class PressServer(NodeService):
         # out of a cold start.
         yield self.env.timeout(self.config.cpu_control)
         self.fabric.control_broadcast(
-            self, kind, {"fid": fid, "load": self.load}, size=_CTL_MSG_SIZE
+            self, kind, {"fid": fid, "load": self.load}, size=_CTL_MSG_SIZE,
+            ctx=ctx
         )
 
     def _respond(self, req: Request) -> None:
@@ -644,6 +705,8 @@ class PressServer(NodeService):
             for rid, req in self.fwd_pending.items():
                 if req.expired:
                     self.client_pending -= 1
+                    self._spans.finish(self._fwd_spans.pop(rid, None),
+                                       outcome="expired")
                 else:
                     alive[rid] = req
             self.fwd_pending = alive

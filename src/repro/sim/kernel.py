@@ -139,6 +139,15 @@ class Environment:
         # pays one `is not None` check per schedule/step; with no monitor
         # attached the loop is byte-for-byte the unprofiled one.
         self._monitor = monitor
+        # Causal-tracing hooks (see repro.obs.spans).  `_spans` is the
+        # world's SpanRecorder when request tracing is on (bound by
+        # Telemetry.attach), else None.  `_spawn_ctx` is the trace
+        # context of the most recently resumed process: process() reads
+        # it so children spawned from a traced scope inherit the parent
+        # span without explicit plumbing.  Both stay None when tracing
+        # is off, so recording cannot perturb an untraced run.
+        self._spans = None
+        self._spawn_ctx = None
 
     @property
     def now(self) -> float:
@@ -170,6 +179,19 @@ class Environment:
         callbacks)`` hooks; pass None to detach and restore the fast path."""
         self._monitor = monitor
 
+    @property
+    def spans(self):
+        """The bound :class:`~repro.obs.spans.SpanRecorder`, or None.
+
+        Components without a Telemetry reference (transport endpoints,
+        the control-plane fabric) reach the recorder through here.
+        """
+        return self._spans
+
+    def bind_spans(self, recorder) -> None:
+        """Bind (or with None, unbind) the world's span recorder."""
+        self._spans = recorder
+
     # -- scheduling -----------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         if delay < 0:
@@ -188,11 +210,20 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, generator, owner=None, name: Optional[str] = None):
-        """Spawn a generator coroutine as a :class:`~repro.sim.process.Process`."""
+    def process(self, generator, owner=None, name: Optional[str] = None,
+                ctx=None):
+        """Spawn a generator coroutine as a :class:`~repro.sim.process.Process`.
+
+        ``ctx`` attaches a trace context (a :class:`~repro.obs.spans.Span`)
+        to the process; when omitted, the spawning process's context is
+        captured, so e.g. a retry spawned from a traced request scope
+        parents its spans under the original request.
+        """
         from repro.sim.process import Process
 
-        return Process(self, generator, owner=owner, name=name)
+        if ctx is None:
+            ctx = self._spawn_ctx
+        return Process(self, generator, owner=owner, name=name, ctx=ctx)
 
     def any_of(self, events: Iterable[Event]):
         from repro.sim.conditions import AnyOf

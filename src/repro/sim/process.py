@@ -138,7 +138,7 @@ class Process(Event):
     killed (value = :data:`KILLED`).
     """
 
-    __slots__ = ("_generator", "owner", "name", "_target")
+    __slots__ = ("_generator", "owner", "name", "_target", "ctx")
 
     def __init__(
         self,
@@ -146,6 +146,7 @@ class Process(Event):
         generator,
         owner: Optional[ProcessOwner] = None,
         name: Optional[str] = None,
+        ctx=None,
     ):
         if not hasattr(generator, "send"):
             raise TypeError(f"process body must be a generator, got {generator!r}")
@@ -153,6 +154,11 @@ class Process(Event):
         self._generator = generator
         self.owner = owner
         self.name = name or getattr(generator, "__name__", "process")
+        #: trace context (repro.obs.spans.Span) this process runs under;
+        #: published to env._spawn_ctx on every resume so child spawns
+        #: inherit it (see Environment.process).  Always None when
+        #: request tracing is off.
+        self.ctx = ctx
         self._target: Optional[Event] = None
         if owner is not None:
             owner.attach(self)
@@ -182,6 +188,11 @@ class Process(Event):
             # crashed: drop silently (kill() will fire shortly/has fired)
             return
         self._target = None
+        # Publish this process's trace context for the duration of the
+        # resume: spawns inside the generator body capture it.  A plain
+        # store (no save/restore) suffices — the next resume overwrites
+        # it, and it is read only synchronously inside spawn calls.
+        self.env._spawn_ctx = self.ctx
         try:
             if event._ok:
                 nxt = self._generator.send(event._value)

@@ -59,7 +59,8 @@ class ClientConfig:
 class Request:
     """One HTTP request for one file."""
 
-    __slots__ = ("fid", "created", "response", "expired", "size")
+    __slots__ = ("fid", "created", "response", "expired", "size",
+                 "req_id", "ctx")
 
     def __init__(self, env: Environment, fid: int, size: int):
         self.fid = fid
@@ -67,6 +68,11 @@ class Request:
         self.created = env.now
         self.response = Event(env)
         self.expired = False  # set when the client gave up
+        # Deterministic monotone id assigned by the issuing ClientPool
+        # (0 = never pooled, e.g. a test double), and the trace context:
+        # the root Span when this request was head-sampled, else None.
+        self.req_id = 0
+        self.ctx = None
 
     def respond(self) -> None:
         """Server-side completion; harmless after client timeout."""
@@ -124,10 +130,17 @@ class ClientPool:
         tm = telemetry if telemetry is not None else NULL_TELEMETRY
         self._tracer = tm.tracer
         self._trace_ok = tm.trace_requests
+        self._spans = tm.spans
+        self._next_req_id = 0
         m = tm.metrics
         self._c_issued = m.counter("client_requests_issued")
         self._c_ok = m.counter("client_requests_ok")
         self._h_latency = m.histogram("client_request_latency")
+        # Censored samples: give-up latency of requests the client
+        # abandoned.  A separate labelled series, so success percentiles
+        # stay comparable while fault-window tails avoid survivorship bias.
+        self._h_latency_expired = m.histogram("client_request_latency",
+                                              outcome="expired")
         self._c_fail = {
             outcome: m.counter("client_requests_failed", outcome=outcome.value)
             for outcome in Outcome if outcome is not Outcome.SUCCESS
@@ -147,30 +160,42 @@ class ClientPool:
             yield self.env.timeout(float(self.rng.exponential(mean_gap)))
             fid = self.trace.sample_file()
             req = Request(self.env, fid, self.trace.file_size(fid))
+            self._next_req_id += 1
+            req.req_id = self._next_req_id
             self.stats.record_issue(self.env.now)
             self._c_issued.inc()
-            self.env.process(self._issue(req), name="client-req")
+            req.ctx = self._spans.root(req.req_id, "request", "clients",
+                                       fid=fid)
+            self.env.process(self._issue(req), name="client-req", ctx=req.ctx)
 
     # -- per-request lifecycle ----------------------------------------------------
     def _issue(self, req: Request):
         cfg = self.config
+        spans = self._spans
+        conn = spans.start("connect", "network", "clients", ctx=req.ctx)
         backend = self.router.pick(req)
         if backend is None:
             # No route (front-end dead): SYNs vanish, client gives up at 2 s.
             yield self.env.timeout(cfg.connect_timeout)
+            spans.finish(conn, outcome="no_route")
             self._fail(req, Outcome.CONNECT_TIMEOUT)
             return
         yield self.env.timeout(cfg.network_rtt)  # SYN -> SYN-ACK attempt
         if not backend.host.pingable:
             yield self.env.timeout(cfg.connect_timeout)
+            spans.finish(conn, outcome="syn_timeout")
             self._fail(req, Outcome.CONNECT_TIMEOUT)
             return
         if not backend.listening:
+            spans.finish(conn, outcome="rst")
             self._fail(req, Outcome.REFUSED)  # RST comes back immediately
             return
         if not backend.try_accept(req):
+            spans.finish(conn, outcome="backlog")
             self._fail(req, Outcome.REFUSED)  # listen backlog overflow
             return
+        spans.finish(conn, outcome="established")
+        wait = spans.start("await_reply", "wait", "clients", ctx=req.ctx)
         deadline = self.env.timeout(cfg.request_timeout)
         yield AnyOf(self.env, [req.response, deadline])
         if req.response.triggered:
@@ -178,17 +203,25 @@ class ClientPool:
             self.stats.record_success(self.env.now, latency)
             self._c_ok.inc()
             self._h_latency.observe(latency)
+            spans.finish(wait, outcome="ok")
+            spans.finish(req.ctx, outcome="ok")
             if self._trace_ok:
                 # Opt-in: one event per served request is a lot of volume.
                 self._tracer.emit(EventKind.REQUEST_OK, source="clients",
                                   fid=req.fid, latency=latency)
         else:
             req.expired = True
+            spans.finish(wait, outcome="expired")
             self._fail(req, Outcome.REQUEST_TIMEOUT)
 
     def _fail(self, req: Request, outcome: Outcome) -> None:
         req.expired = True
-        self.stats.record_failure(self.env.now, outcome)
+        # The give-up latency is a censored sample of the request's true
+        # latency; recording it keeps fault-window p99s honest.
+        latency = self.env.now - req.created
+        self.stats.record_failure(self.env.now, outcome, latency=latency)
         self._c_fail[outcome].inc()
+        self._h_latency_expired.observe(latency)
+        self._spans.finish(req.ctx, outcome=outcome.value)
         self._tracer.emit(EventKind.REQUEST_FAILED, source="clients",
                           fid=req.fid, outcome=outcome.value)

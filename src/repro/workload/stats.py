@@ -9,7 +9,7 @@ plus categorized failures.
 from __future__ import annotations
 
 import enum
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -73,6 +73,11 @@ class RequestStats:
         self.issued_series = ThroughputSeries("issued")
         self.latency_sum = 0.0
         self.latencies = LatencyReservoir()
+        # Censored samples: the give-up latency of failed requests (time
+        # until the client abandoned them).  Kept in a separate reservoir
+        # so the success percentiles stay comparable with earlier runs,
+        # while tail queries during faults can avoid survivorship bias.
+        self.censored_latencies = LatencyReservoir(seed=1)
 
     # -- recording ----------------------------------------------------------
     def record_issue(self, time: float) -> None:
@@ -85,10 +90,15 @@ class RequestStats:
         self.latencies.add(latency)
         self.series.record(time)
 
-    def record_failure(self, time: float, outcome: Outcome) -> None:
+    def record_failure(self, time: float, outcome: Outcome,
+                       latency: Optional[float] = None) -> None:
+        """Count a failed request; ``latency`` (when known) is the
+        censored give-up latency — time from issue to abandonment."""
         if outcome is Outcome.SUCCESS:
             raise ValueError("use record_success for successes")
         self.outcomes[outcome] += 1
+        if latency is not None:
+            self.censored_latencies.add(latency)
 
     # -- summary -------------------------------------------------------------
     @property
@@ -114,6 +124,10 @@ class RequestStats:
     def latency_percentile(self, q: float) -> float:
         """Approximate latency percentile from the success reservoir."""
         return self.latencies.percentile(q)
+
+    def censored_latency_percentile(self, q: float) -> float:
+        """Give-up latency percentile of failed (expired) requests."""
+        return self.censored_latencies.percentile(q)
 
     def window(self, t0: float, t1: float) -> Dict[str, float]:
         """Issue/success counts and rates within [t0, t1)."""

@@ -73,6 +73,17 @@ class TestRules:
     def test_rep007_delays(self):
         check_fixture("rep007_delay.py", "REP007")
 
+    def test_rep013_trace_context_loss(self):
+        check_fixture("rep013_ctx.py", "REP013")
+
+    def test_rep013_only_in_sim_scope(self):
+        src = ("def f(env, ctx):\n"
+               "    return Message('x', 1, 2)\n")
+        assert lint_source(src, "src/repro/analysis/report.py").findings == []
+        assert [f.rule for f in
+                lint_source(src, "src/repro/press/server.py").findings] == \
+            ["REP013"]
+
     def test_rep007_negative_is_error_zero_is_warning(self):
         findings = [f for f in fixture_findings("rep007_delay.py")
                     if f.rule == "REP007"]

@@ -16,10 +16,10 @@ from repro.analysis.sanitize import (
 )
 
 
-def make_doc(events, trace="t" * 64, metrics="m" * 64, timeline=None,
-             **extra):
+def make_doc(events, trace="t" * 64, metrics="m" * 64, spans="s" * 64,
+             timeline=None, **extra):
     doc = {
-        "schema": 1,
+        "schema": 2,
         "mode": "smoke",
         "version": "coop",
         "fault": "node_crash",
@@ -29,6 +29,8 @@ def make_doc(events, trace="t" * 64, metrics="m" * 64, timeline=None,
         "events": events,
         "trace_digest": trace,
         "metrics_digest": metrics,
+        "spans_digest": spans,
+        "n_spans": 4,
         "timeline": timeline or {"issued": 10},
         "digest": "d" * 64,
     }
@@ -78,6 +80,22 @@ class TestCompare:
         assert result.trace_match and not result.metrics_match
         assert result.divergence is None
 
+    def test_spans_only_divergence(self):
+        result = compare_fingerprints(
+            make_doc(EVS), make_doc(EVS, spans="x" * 64),
+            DEFAULT_HASH_SEEDS)
+        assert not result.ok
+        assert result.trace_match and not result.spans_match
+        assert "span digests:    DIVERGE" in format_sanitize(result)
+
+    def test_schema1_docs_without_spans_still_compare(self):
+        a, b = make_doc(EVS), make_doc(EVS)
+        for doc in (a, b):
+            doc.pop("spans_digest")
+            doc["schema"] = 1
+        result = compare_fingerprints(a, b, DEFAULT_HASH_SEEDS)
+        assert result.ok and result.spans_match
+
     def test_to_dict_strips_event_streams(self):
         result = compare_fingerprints(make_doc(EVS), make_doc(EVS),
                                       DEFAULT_HASH_SEEDS)
@@ -107,11 +125,13 @@ class TestFingerprint:
     def test_smoke_fingerprint_shape_and_stability(self):
         a = campaign_fingerprint("coop", "node_crash", seed=3, smoke=True)
         b = campaign_fingerprint("coop", "node_crash", seed=3, smoke=True)
-        assert a["schema"] == 1 and a["mode"] == "smoke"
+        assert a["schema"] == 2 and a["mode"] == "smoke"
         assert a["n_events"] == len(a["events"]) > 0
+        assert a["n_spans"] > 0  # span tracing rides along
         # in-process, same hash seed: must be bit-identical
         assert a["trace_digest"] == b["trace_digest"]
         assert a["metrics_digest"] == b["metrics_digest"]
+        assert a["spans_digest"] == b["spans_digest"]
         assert a["timeline"] == b["timeline"]
         # different master seed must move the digest
         c = campaign_fingerprint("coop", "node_crash", seed=4, smoke=True)

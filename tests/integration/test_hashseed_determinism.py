@@ -19,8 +19,12 @@ def test_smoke_scenario_hashseed_invariant():
     detail = "" if result.divergence is None else result.divergence.describe()
     assert result.trace_match, detail
     assert result.metrics_match
+    # Span trees (ids, parentage, timings, sampling) are part of the
+    # fingerprint: causal traces must not depend on hash iteration order.
+    assert result.spans_match
     assert result.timeline_match
     assert result.ok
     a, b = result.runs
     assert a["trace_digest"] == b["trace_digest"]
+    assert a["n_spans"] == b["n_spans"] > 0
     assert a["python_hash_seed"] == "1" and b["python_hash_seed"] == "4242"

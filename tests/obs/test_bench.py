@@ -111,6 +111,22 @@ class TestGate:
         verdict = gate(report, baseline, min_cores=0)
         assert any("overhead (unsub)" in f for f in verdict.failures)
 
+    def test_spans_overhead_ceiling(self):
+        report = _bench_report({"steady": _scenario_report()})
+        sc = report.scenarios["steady"]
+        sc.runs["spans"] = ModeRun("spans", 4.0, 100_000, 100_000, 50, "d",
+                                   spans_recorded=123)
+        baseline = _baseline(ceilings={"max_overhead_spans": 3.0})
+        verdict = gate(report, baseline, min_cores=0)
+        assert any("overhead (spans)" in f for f in verdict.failures)
+
+    def test_spans_ceiling_skipped_when_mode_absent(self):
+        # A baseline that caps span overhead must not fail a bench run
+        # that never measured the spans mode (e.g. --scenario subsets).
+        report = _bench_report({"steady": _scenario_report()})
+        baseline = _baseline(ceilings={"max_overhead_spans": 3.0})
+        assert gate(report, baseline, min_cores=0).ok
+
     def test_scenario_missing_from_baseline_is_skipped(self):
         report = _bench_report({"crash": _scenario_report(name="crash")})
         verdict = gate(report, _baseline(), min_cores=0)

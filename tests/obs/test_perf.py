@@ -117,21 +117,28 @@ class TestMeasureMode:
         doc = measure_mode(MICRO, "off").to_dict()
         assert set(doc) == {"mode", "wall_seconds", "events_processed",
                             "events_scheduled", "events_per_sec",
-                            "trace_events", "digest"}
+                            "trace_events", "spans_recorded", "digest"}
+
+    def test_spans_mode_records_spans_without_digest_drift(self):
+        off = measure_mode(MICRO, "off")
+        spans = measure_mode(MICRO, "spans")
+        assert spans.spans_recorded == 0  # micro world opens no spans
+        assert spans.digest == off.digest
 
 
 class TestMeasureScenario:
     def test_digests_identical_across_all_modes(self):
         report = measure_scenario(MICRO)
         assert set(report.runs) == set(OBS_MODES)
-        # off + unsub + on + the attribution (profiled) run
-        assert len(report.digests) == 4
+        # off + unsub + on + spans + the attribution (profiled) run
+        assert len(report.digests) == 5
         assert report.digests_equal
         assert report.events_per_sec > 0.0
         assert report.wall_per_cell == report.runs["off"].wall_seconds
         assert report.overhead("off") == pytest.approx(1.0)
         assert report.overhead("unsub") > 0.0
         assert report.overhead("on") > 0.0
+        assert report.overhead("spans") > 0.0
 
     def test_attribution_breakdown(self):
         attribution, digest = measure_attribution(MICRO)
@@ -159,6 +166,7 @@ class TestMeasureScenario:
         assert set(doc["runs"]) == set(OBS_MODES)
         assert doc["overhead_unsub"] > 0.0
         assert doc["overhead_on"] > 0.0
+        assert doc["overhead_spans"] > 0.0
 
     def test_divergent_digests_detected(self):
         report = ScenarioReport(scenario="s", description="", cells=1)

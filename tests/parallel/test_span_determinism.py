@@ -1,0 +1,41 @@
+"""Span trees obey the serial ≡ parallel contract.
+
+With ``REPRO_CELL_SPANS`` set, every cell document carries a canonical
+span digest; a jobs=2 fan-out must reproduce the serial digests exactly
+— span ids, parentage, sampling, and timings may not depend on process
+boundaries or scheduling.
+"""
+
+import pytest
+
+from repro.core.quantify import QuantifyConfig, campaign_cells, run_cell
+from repro.faults.types import FaultKind
+from repro.parallel import run_campaign_cells
+
+#: two cheap INDEP kinds keep the whole test under ~15 s
+KINDS = (FaultKind.APP_CRASH, FaultKind.APP_HANG)
+
+pytestmark = pytest.mark.slow
+
+
+def test_span_digests_identical_serial_vs_parallel(monkeypatch):
+    monkeypatch.setenv("REPRO_CELL_SPANS", "1")
+    config = QuantifyConfig.quick(kinds=KINDS)
+    cells = campaign_cells("INDEP", config)
+    serial = [run_cell(cell, config) for cell in cells]
+    parallel = run_campaign_cells(cells, config, jobs=2)
+    assert [d["cell"]["index"] for d in parallel] == \
+        [d["cell"]["index"] for d in serial]
+    for s, p in zip(serial, parallel):
+        assert s["n_spans"] == p["n_spans"] > 0
+        assert s["spans_digest"] == p["spans_digest"]
+
+
+def test_cell_docs_unchanged_without_opt_in(monkeypatch):
+    # Default-off: documents stay byte-compatible with pre-span tooling.
+    monkeypatch.delenv("REPRO_CELL_SPANS", raising=False)
+    config = QuantifyConfig.quick(kinds=KINDS[:1])
+    (cell,) = campaign_cells("INDEP", config)
+    doc = run_cell(cell, config)
+    assert "spans_digest" not in doc
+    assert "n_spans" not in doc
