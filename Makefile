@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-all lint sanitize bench bench-quick bench-kernel examples clean
+.PHONY: install test test-fast test-all lint sanitize racecheck bench bench-quick bench-kernel examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -33,6 +33,13 @@ lint:
 # PYTHONHASHSEED values must produce identical trace digests.
 sanitize:
 	$(PYTHON) -m repro sanitize --seed 7
+
+# Race detector: static shared-state effect analysis (REP014/REP015)
+# plus the schedule-perturbation sanitizer — the same quick campaign
+# re-run with seeded randomized same-instant tie-break must keep its
+# trace, metrics (within float tolerance), and stage timeline.
+racecheck:
+	$(PYTHON) -m repro racecheck --out results/racecheck.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -51,6 +51,7 @@ from repro.analysis.lint import (
     lint_source,
     path_is_sim_scope,
 )
+from repro.analysis.racecheck import RaceAnalysis, analyze_races
 from repro.analysis.rules import RULES, Severity
 
 #: rules whose scope is widened by call-graph propagation
@@ -87,9 +88,14 @@ class FlowResult:
     droppable: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
     #: send sites whose kind argument is not a literal (unmatchable)
     dynamic_sends: int = 0
+    #: the race detector's static tier (effects + REP014/REP015)
+    races: Optional["RaceAnalysis"] = None
+    #: path -> line -> ids whose suppressions dropped a flow finding
+    used_suppressions: Dict[str, Dict[int, Set[str]]] = field(
+        default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "sim_seeds": len(self.sim_seeds),
             "sim_reachable": len(self.sim_reachable),
             "newly_covered": list(self.newly_covered),
@@ -103,6 +109,9 @@ class FlowResult:
                 "dynamic_sends": self.dynamic_sends,
             },
         }
+        if self.races is not None:
+            doc["races"] = self.races.to_dict()
+        return doc
 
 
 # ---------------------------------------------------------------------------
@@ -460,9 +469,12 @@ def _propagated_findings(graph: CallGraph,
 # suppression / allowlist filtering
 
 
-def _filter(findings: List[Finding], graph: CallGraph) -> Tuple[List[Finding], int]:
+def _filter(
+    findings: List[Finding], graph: CallGraph,
+) -> Tuple[List[Finding], int, Dict[str, Dict[int, Set[str]]]]:
     suppress_cache: Dict[str, Dict[int, Set[str]]] = {}
     kept: List[Finding] = []
+    used: Dict[str, Dict[int, Set[str]]] = {}
     dropped = 0
     for finding in findings:
         rule = RULES.get(finding.rule)
@@ -474,11 +486,17 @@ def _filter(findings: List[Finding], graph: CallGraph) -> Tuple[List[Finding], i
             source = graph.sources.get(finding.path, "")
             suppress_cache[finding.path] = _suppressions(source)
         ids = suppress_cache[finding.path].get(finding.line, set())
-        if finding.rule in ids or "ALL" in ids:
+        if finding.rule in ids:
+            used.setdefault(finding.path, {}).setdefault(
+                finding.line, set()).add(finding.rule)
+            dropped += 1
+        elif "ALL" in ids:
+            used.setdefault(finding.path, {}).setdefault(
+                finding.line, set()).add("ALL")
             dropped += 1
         else:
             kept.append(finding)
-    return kept, dropped
+    return kept, dropped, used
 
 
 # ---------------------------------------------------------------------------
@@ -552,7 +570,11 @@ def analyze_flow(paths: Sequence[str]) -> FlowResult:
     findings.extend(_bare_generator_findings(graph))
     findings.extend(_orphan_event_findings(graph))
 
-    kept, suppressed = _filter(findings, graph)
+    # race detector, static tier: effect analysis + REP014/REP015
+    races = analyze_races(graph)
+    findings.extend(races.findings)
+
+    kept, suppressed, used = _filter(findings, graph)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return FlowResult(
         findings=kept,
@@ -566,4 +588,6 @@ def analyze_flow(paths: Sequence[str]) -> FlowResult:
         handled=handled,
         droppable=droppable,
         dynamic_sends=dynamic_sends,
+        races=races,
+        used_suppressions=used,
     )

@@ -14,8 +14,11 @@ itself, so ``repro lint --list-rules`` shows them.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
@@ -102,6 +105,12 @@ class LintResult:
     findings: List[Finding]
     files_scanned: int
     suppressed: int = 0
+    #: path -> line -> rule ids declared in ``# reprolint: disable=`` comments
+    declared_suppressions: Dict[str, Dict[int, Set[str]]] = \
+        dataclass_field(default_factory=dict)
+    #: path -> line -> ids that actually dropped a finding ("ALL" included)
+    used_suppressions: Dict[str, Dict[int, Set[str]]] = \
+        dataclass_field(default_factory=dict)
 
     @property
     def errors(self) -> List[Finding]:
@@ -151,12 +160,28 @@ def _is_zero_or_negative_literal(node: ast.AST) -> Optional[str]:
 
 
 def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids suppressed by a comment on that line.
+
+    Only real ``#`` comments count — a ``reprolint: disable=`` example
+    quoted inside a docstring is documentation, not a suppression.  Ids
+    may be comma- and/or whitespace-separated; a ``--`` (or any other
+    non-id character) ends the id list, so justification prose can
+    follow: ``# reprolint: disable=REP014 -- writers touch disjoint
+    keys``.
+    """
     out: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), 1):
-        m = _SUPPRESS_RE.search(line)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _SUPPRESS_RE.search(tok.string)
         if m:
-            ids = {t.strip().upper() for t in m.group(1).split(",") if t.strip()}
-            out.setdefault(lineno, set()).update(ids)
+            ids = {t.strip().upper()
+                   for t in re.split(r"[,\s]+", m.group(1)) if t.strip()}
+            out.setdefault(tok.start[0], set()).update(ids)
     return out
 
 
@@ -608,15 +633,22 @@ def lint_source(source: str, path: str,
     visitor.visit(tree)
     suppress = _suppressions(source)
     kept: List[Finding] = []
+    used: Dict[int, Set[str]] = {}
     dropped = 0
     for finding in visitor.findings:
         ids = suppress.get(finding.line, set())
-        if finding.rule in ids or "ALL" in ids:
+        if finding.rule in ids:
+            used.setdefault(finding.line, set()).add(finding.rule)
+            dropped += 1
+        elif "ALL" in ids:
+            used.setdefault(finding.line, set()).add("ALL")
             dropped += 1
         else:
             kept.append(finding)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return LintResult(findings=kept, files_scanned=1, suppressed=dropped)
+    return LintResult(findings=kept, files_scanned=1, suppressed=dropped,
+                      declared_suppressions={path: suppress} if suppress else {},
+                      used_suppressions={path: used} if used else {})
 
 
 def lint_file(path: str, is_sim: Optional[bool] = None) -> LintResult:
@@ -640,11 +672,59 @@ def lint_paths(paths: Sequence[str]) -> LintResult:
     """Lint every ``*.py`` under ``paths`` (files or directories)."""
     findings: List[Finding] = []
     suppressed = 0
+    declared: Dict[str, Dict[int, Set[str]]] = {}
+    used: Dict[str, Dict[int, Set[str]]] = {}
     files = iter_python_files(paths)
     for f in files:
         result = lint_file(f)
         findings.extend(result.findings)
         suppressed += result.suppressed
+        declared.update(result.declared_suppressions)
+        used.update(result.used_suppressions)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return LintResult(findings=findings, files_scanned=len(files),
-                      suppressed=suppressed)
+                      suppressed=suppressed,
+                      declared_suppressions=declared,
+                      used_suppressions=used)
+
+
+def audit_suppressions(
+    declared: Dict[str, Dict[int, Set[str]]],
+    used: Dict[str, Dict[int, Set[str]]],
+    flow_ran: bool = False,
+) -> List[Finding]:
+    """REP016: ``# reprolint: disable=`` comments that suppress nothing.
+
+    ``used`` is the union of what the single-file engine and (when it
+    ran) the flow pass actually dropped.  Suppressions naming flow rules
+    are only auditable when the flow pass ran — a plain ``repro lint``
+    cannot know whether they still fire, so they are skipped, as is a
+    bare ``disable=all``.  Unknown rule ids are always reported: they
+    suppress nothing by construction (usually a typo for a real id).
+    """
+    findings: List[Finding] = []
+    for path in sorted(declared):
+        for line in sorted(declared[path]):
+            ids = declared[path][line]
+            used_here = used.get(path, {}).get(line, set())
+            for rid in sorted(ids):
+                if rid in used_here:
+                    continue
+                if rid == "ALL":
+                    if not flow_ran or used_here:
+                        continue
+                    message = ("'disable=all' on this line suppresses no "
+                               "finding; delete the stale comment")
+                elif rid not in RULES:
+                    message = (f"unknown rule id '{rid}' in suppression "
+                               "comment; it suppresses nothing (typo?)")
+                elif RULES[rid].flow and not flow_ran:
+                    continue  # only the --flow pass can use it
+                else:
+                    message = (f"suppression of {rid} no longer matches any "
+                               "finding; delete the stale comment")
+                findings.append(Finding(
+                    rule="REP016", severity=RULES["REP016"].severity,
+                    path=path, line=line, col=0, message=message,
+                ))
+    return findings

@@ -9,7 +9,9 @@ from repro.analysis.flow import FlowResult
 from repro.analysis.lint import LintResult
 from repro.analysis.rules import RULES
 
-REPORT_SCHEMA_VERSION = 2
+#: 3: flow section gained "races" (effect analysis summary), findings may
+#: carry REP014-REP016, and the document gained "suppression_audit"
+REPORT_SCHEMA_VERSION = 3
 
 
 def render_text(result: LintResult, verbose: bool = False,
@@ -53,6 +55,12 @@ def render_json(result: LintResult, flow: Optional[FlowResult] = None) -> dict:
         "suppressed": result.suppressed,
         "counts": result.counts(),
         "findings": [f.to_dict() for f in result.findings],
+        "suppression_audit": {
+            "declared": sum(len(ids) for by_line in
+                            result.declared_suppressions.values()
+                            for ids in by_line.values()),
+            "unused": sum(1 for f in result.findings if f.rule == "REP016"),
+        },
     }
     if flow is not None:
         doc["flow"] = flow.to_dict()

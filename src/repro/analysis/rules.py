@@ -247,6 +247,53 @@ RULES: Dict[str, Rule] = {
             ),
             sim_only=True,
         ),
+        Rule(
+            id="REP014",
+            name="unordered-shared-write",
+            severity=Severity.WARNING,
+            summary="attribute written by two process generators with no "
+                    "ordering edge",
+            rationale=(
+                "Two distinct process generators that both write the same "
+                "attribute of the same class race whenever they run at the "
+                "same instant: the kernel's FIFO tie-break is a convention, "
+                "not a causal ordering, so the final value silently depends "
+                "on schedule order — and flips under any scheduler refactor "
+                "or overlapping-fault campaign.  Order the writers with an "
+                "explicit event/priority edge, or make the state per-process."
+            ),
+            sim_only=True,
+            flow=True,
+        ),
+        Rule(
+            id="REP015",
+            name="torn-read-modify-write",
+            severity=Severity.ERROR,
+            summary="read-modify-write of shared state torn across a yield",
+            rationale=(
+                "A generator that reads shared state into a local, yields, "
+                "and writes the modified local back has a lost-update race: "
+                "another same-instant process can interleave at the yield, "
+                "and its update is overwritten by the stale value.  Re-read "
+                "after the yield, or do the whole read-modify-write "
+                "synchronously (DES callbacks are atomic between yields)."
+            ),
+            sim_only=True,
+            flow=True,
+        ),
+        Rule(
+            id="REP016",
+            name="unused-suppression",
+            severity=Severity.WARNING,
+            summary="# reprolint: disable= comment suppresses nothing",
+            rationale=(
+                "A suppression that no longer matches any finding is stale "
+                "documentation: the violation it justified was fixed or "
+                "moved, and the comment now silently licenses a future "
+                "regression on that line.  Delete it (or fix the rule id "
+                "if it was misspelled)."
+            ),
+        ),
     )
 }
 

@@ -35,7 +35,8 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-FINGERPRINT_SCHEMA = 2
+#: 3: the document gained "tiebreak_seed" (schedule-perturbation runs)
+FINGERPRINT_SCHEMA = 3
 
 #: hash seeds chosen for the two runs; any distinct pair works, these are
 #: merely reproducible documentation of "two different salts".
@@ -47,12 +48,17 @@ def _canonical(obj: Any) -> bytes:
 
 
 def campaign_fingerprint(version_name: str, fault: str, seed: int,
-                         quick: bool = True, smoke: bool = False) -> Dict[str, Any]:
+                         quick: bool = True, smoke: bool = False,
+                         tiebreak_seed: Optional[int] = None) -> Dict[str, Any]:
     """Run one experiment in-process and fingerprint everything observable.
 
     Returns a JSON-safe document with a chained per-event digest (so two
     fingerprints can be diffed down to the first diverging event), a
     final trace digest, a metrics digest, and the stage timeline.
+
+    ``tiebreak_seed`` perturbs the kernel's same-instant event order
+    (see :mod:`repro.analysis.racecheck`); a fingerprint taken under a
+    tie-break seed is only comparable to another with the same seed.
     """
     # Imports deferred: `repro lint` must not drag the simulator in.
     from repro.core.quantify import QuantifyConfig, run_single_fault
@@ -71,7 +77,8 @@ def campaign_fingerprint(version_name: str, fault: str, seed: int,
         from repro.experiments.profiles import SMALL
         from repro.experiments.runner import build_world
 
-        world = build_world(spec, SMALL, seed=seed, telemetry=telemetry)
+        world = build_world(spec, SMALL, seed=seed, telemetry=telemetry,
+                            tiebreak_seed=tiebreak_seed)
         world.env.run(until=80.0)
         world.injector.inject_for(FaultKind(fault), "n1", duration=30.0)
         world.env.run(until=140.0)
@@ -90,7 +97,8 @@ def campaign_fingerprint(version_name: str, fault: str, seed: int,
         config = QuantifyConfig.quick(seed=seed) if quick else \
             replace(QuantifyConfig.from_env(), seed=seed)
         trace, world = run_single_fault(spec, FaultKind(fault), config,
-                                        telemetry=telemetry)
+                                        telemetry=telemetry,
+                                        tiebreak_seed=tiebreak_seed)
         timeline = {
             "t_inject": trace.t_inject,
             "t_detect": trace.t_detect,
@@ -121,6 +129,7 @@ def campaign_fingerprint(version_name: str, fault: str, seed: int,
         "fault": fault,
         "seed": seed,
         "python_hash_seed": os.environ.get("PYTHONHASHSEED", "unset"),
+        "tiebreak_seed": tiebreak_seed,
         "n_events": len(entries),
         "events": entries,
         "trace_digest": trace_digest,

@@ -285,7 +285,10 @@ class DbCluster(Dispatcher):
         while True:
             yield self.env.timeout(cfg.db_heartbeat)
             if server is self.primary:
-                self._hb_seen = self.env.now
+                # Both writers (_heartbeat_duty and _promote) refresh
+                # the watchdog to env.now, so same-instant order cannot
+                # change the stored value.
+                self._hb_seen = self.env.now  # reprolint: disable=REP014
             else:
                 silent = self.env.now - self._hb_seen
                 if (silent > cfg.db_loss_threshold * cfg.db_heartbeat

@@ -677,12 +677,37 @@ def cmd_lint(args) -> int:
                         key=lambda f: (f.path, f.line, f.col, f.rule))
         result = LintResult(findings=merged,
                             files_scanned=result.files_scanned,
-                            suppressed=result.suppressed + flow.suppressed)
+                            suppressed=result.suppressed + flow.suppressed,
+                            declared_suppressions=result.declared_suppressions,
+                            used_suppressions=result.used_suppressions)
         if args.callgraph_out:
             Path(args.callgraph_out).parent.mkdir(parents=True, exist_ok=True)
             with open(args.callgraph_out, "w", encoding="utf-8") as fp:
                 flow.graph.write_json(fp, sim_seeds=flow.sim_seeds,
                                       sim_reachable=flow.sim_reachable)
+
+    from repro.analysis.lint import LintResult, audit_suppressions
+
+    used = {path: dict(by_line)
+            for path, by_line in result.used_suppressions.items()}
+    if flow is not None:
+        for path, by_line in flow.used_suppressions.items():
+            dst = used.setdefault(path, {})
+            for line, ids in by_line.items():
+                dst[line] = dst.get(line, set()) | ids
+    audit = audit_suppressions(result.declared_suppressions, used,
+                               flow_ran=run_flow)
+    if changed is not None:
+        keep = {str(Path(c).resolve()) for c in changed}
+        audit = [f for f in audit if str(Path(f.path).resolve()) in keep]
+    if audit:
+        merged = sorted(result.findings + audit,
+                        key=lambda f: (f.path, f.line, f.col, f.rule))
+        result = LintResult(findings=merged,
+                            files_scanned=result.files_scanned,
+                            suppressed=result.suppressed,
+                            declared_suppressions=result.declared_suppressions,
+                            used_suppressions=result.used_suppressions)
 
     if args.out:
         Path(args.out).parent.mkdir(parents=True, exist_ok=True)
@@ -718,13 +743,43 @@ def cmd_sanitize(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_racecheck(args) -> int:
+    from repro.analysis.racecheck import format_racecheck, run_racecheck
+
+    try:
+        result = run_racecheck(
+            version_name=args.version,
+            fault=args.fault,
+            seed=args.seed,
+            tiebreak_seeds=tuple(args.tiebreak_seeds),
+            quick=not args.full,
+            smoke=args.smoke,
+            paths=tuple(args.paths),
+            static=not args.no_static,
+            dynamic=not args.no_dynamic,
+        )
+    except (RuntimeError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fp:
+            json.dump(result.to_dict(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_racecheck(result))
+    return 0 if result.ok else 1
+
+
 def cmd_digest(args) -> int:
     from repro.analysis.sanitize import campaign_fingerprint
 
     _version(args.version)  # alias-aware existence check
     doc = campaign_fingerprint(args.version, args.fault, seed=args.seed,
                                quick=getattr(args, "quick", False),
-                               smoke=args.smoke)
+                               smoke=args.smoke,
+                               tiebreak_seed=args.tiebreak_seed)
     print(json.dumps(doc, sort_keys=True))
     return 0
 
@@ -1010,8 +1065,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--smoke", action="store_true",
                    help="short fixed scenario instead of a full campaign")
+    p.add_argument("--tiebreak-seed", type=int, default=None,
+                   help="perturb same-instant event order with this seed "
+                        "(the racecheck sanitizer's knob)")
     _add_common(p)
     p.set_defaults(fn=cmd_digest)
+
+    p = sub.add_parser("racecheck",
+                       help="race detector: static shared-state effect "
+                            "analysis + schedule-perturbation sanitizer")
+    p.add_argument("--version", default="coop", dest="version",
+                   help="system version to run (default: coop)")
+    p.add_argument("--fault", default="node_crash",
+                   choices=[k.value for k in FaultKind])
+    p.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    p.add_argument("--tiebreak-seeds", type=int, nargs="+", default=[1, 2],
+                   metavar="S",
+                   help="tie-break seeds for the perturbed runs "
+                        "(default: 1 2)")
+    p.add_argument("--paths", nargs="+", default=["src/repro"],
+                   help="tree the static tier analyzes "
+                        "(default: src/repro)")
+    p.add_argument("--smoke", action="store_true",
+                   help="short fixed scenario instead of a full campaign")
+    p.add_argument("--full", action="store_true",
+                   help="full-length campaign windows (default: quick)")
+    p.add_argument("--no-static", action="store_true",
+                   help="skip the static effect-analysis tier")
+    p.add_argument("--no-dynamic", action="store_true",
+                   help="skip the schedule-perturbation runs")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the JSON race report to PATH")
+    _add_common(p, json_flag=True)
+    p.set_defaults(fn=cmd_racecheck)
 
     p = sub.add_parser("sensitivity",
                        help="rank what-if levers; optionally search a path "

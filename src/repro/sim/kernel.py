@@ -6,12 +6,33 @@ events scheduled for the same instant at the same priority fire in the
 order they were scheduled, on every run.  Determinism matters here because
 availability experiments are compared across system versions; run-to-run
 jitter would show up as noise in the fitted fault templates.
+
+The FIFO tie-break among same-``(time, priority)`` events is a
+*convention*, not a causal necessity — and the race detector
+(:mod:`repro.analysis.racecheck`) exploits exactly that: constructing the
+Environment with a ``tiebreak_seed`` replaces the FIFO tie-break with a
+seeded pseudo-random permutation (a splitmix64 salt keyed on the sequence
+number), which perturbs the order of *causally unordered* same-instant
+events while preserving every happens-before edge (time, priority, and
+"scheduled by an already-processed callback" all still order events).
+Two perturbed runs that agree on all observable outputs certify that no
+simulated component depends on the accidental FIFO order — which is what
+makes calendar-queue / lazy-heap refactors of this scheduler safe.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Iterable, Optional
+
+
+def _splitmix64(x: int) -> int:
+    """Deterministic 64-bit mix (splitmix64 finalizer); pure arithmetic,
+    independent of PYTHONHASHSEED."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
 
 #: Scheduling priorities.  URGENT events at a given time fire before NORMAL
 #: ones; interrupts use URGENT so they preempt ordinary deliveries.
@@ -129,12 +150,22 @@ class Environment:
         env.run(until=600.0)
     """
 
-    def __init__(self, initial_time: float = 0.0, monitor=None):
+    def __init__(self, initial_time: float = 0.0, monitor=None,
+                 tiebreak_seed: Optional[int] = None):
         self._now = float(initial_time)
         self._queue: list = []
         self._seq = 0
         self._processed = 0
         self._stopped = False
+        # Schedule-perturbation mode (repro.analysis.racecheck).  None is
+        # the production FIFO tie-break and the heap holds 4-tuples, as it
+        # always has.  With a seed, same-(time, priority) events are
+        # ordered by a seeded salt instead of arrival order (5-tuples,
+        # with the sequence number after the salt keeping the order total
+        # and run-to-run deterministic for a given seed).  The mode is
+        # fixed at construction so the two entry shapes never mix in one
+        # heap.
+        self._tiebreak_seed = tiebreak_seed
         # Opt-in profiling hook (see repro.obs.kernelprof).  The fast path
         # pays one `is not None` check per schedule/step; with no monitor
         # attached the loop is byte-for-byte the unprofiled one.
@@ -174,6 +205,11 @@ class Environment:
         """The attached kernel monitor (profiler), or None."""
         return self._monitor
 
+    @property
+    def tiebreak_seed(self) -> Optional[int]:
+        """Seed of the perturbed same-instant tie-break, or None (FIFO)."""
+        return self._tiebreak_seed
+
     def set_monitor(self, monitor) -> None:
         """Attach an object with ``on_schedule(depth)``/``on_event(event,
         callbacks)`` hooks; pass None to detach and restore the fast path."""
@@ -200,7 +236,12 @@ class Environment:
             raise SimulationError(f"{event!r} already scheduled")
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        if self._tiebreak_seed is None:
+            heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        else:
+            salt = _splitmix64(self._seq ^ self._tiebreak_seed)
+            heapq.heappush(self._queue,
+                           (self._now + delay, priority, salt, self._seq, event))
         if self._monitor is not None:
             self._monitor.on_schedule(len(self._queue))
 
@@ -244,7 +285,9 @@ class Environment:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on empty queue")
-        time, _prio, _seq, event = heapq.heappop(self._queue)
+        entry = heapq.heappop(self._queue)
+        time = entry[0]
+        event = entry[-1]
         if time < self._now:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self._now = time

@@ -1,0 +1,50 @@
+"""REP014: two process generators write the same attribute, unordered."""
+
+
+class Shared:
+    def __init__(self, env):
+        self.env = env
+        self.count = 0
+        self.own = 0
+        self.watch = 0.0
+
+    def start(self):
+        self.env.process(self._bumper())
+        self.env.process(self._resetter())
+        self.env.process(self._loner())
+
+    def _bumper(self):
+        yield self.env.timeout(1.0)
+        self.count = self.count + 1  # BAD REP014
+
+    def _resetter(self):
+        yield self.env.timeout(1.0)
+        self.count = 0
+
+    def _loner(self):
+        # single writer: no ordering to get wrong, no finding
+        yield self.env.timeout(1.0)
+        self.own = 1
+
+    def _helper(self):
+        # writes in synchronous helpers are atomic between yields and
+        # never counted as a second generator writer
+        self.watch = self.env.now
+
+
+class Suppressed:
+    def __init__(self, env):
+        self.env = env
+        self.flag = 0
+
+    def start(self):
+        self.env.process(self._a())
+        self.env.process(self._b())
+
+    def _a(self):
+        yield self.env.timeout(1.0)
+        self.flag = 1  # reprolint: disable=REP014 -- idempotent writers
+
+    def _b(self):
+        yield self.env.timeout(1.0)
+        self.flag = 1

@@ -1,0 +1,34 @@
+"""REP015: read-modify-write of shared state torn across a yield."""
+
+
+class Counter:
+    def __init__(self, env):
+        self.env = env
+        self.value = 0
+        self.private = 0
+
+    def start(self):
+        self.env.process(self._torn())
+        self.env.process(self._other())
+        self.env.process(self._atomic())
+        self.env.process(self._unshared())
+
+    def _torn(self):
+        v = self.value
+        yield self.env.timeout(0.5)
+        self.value = v + 1  # BAD REP015
+
+    def _other(self):
+        yield self.env.timeout(0.5)
+        self.value = 2
+
+    def _atomic(self):
+        # whole read-modify-write between yields: fine
+        yield self.env.timeout(0.5)
+        self.value = self.value + 1
+
+    def _unshared(self):
+        # no other generator touches .private: torn shape, but no race
+        p = self.private
+        yield self.env.timeout(0.5)
+        self.private = p + 1

@@ -1,0 +1,270 @@
+"""The race detector, both tiers: REP014/REP015 static effect analysis,
+the schedule-perturbation sanitizer, and the runtime-to-static
+attribution that joins them."""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.flow import analyze_flow
+from repro.analysis.racecheck import (
+    RunCapture,
+    ScheduleRecorder,
+    _values_close,
+    analyze_races,
+    compare_captures,
+    find_divergence,
+    schedule_digest,
+)
+from repro.analysis.rules import Severity
+from repro.sim.kernel import Environment
+
+FIXTURES = Path(__file__).parent / "fixtures"
+TORN_SIM = FIXTURES / "torn_rmw_sim.py"
+
+
+def flow_findings(name, rule):
+    result = analyze_flow([str(FIXTURES / name)])
+    return [f for f in result.findings if f.rule == rule]
+
+
+def expected_bad_lines(name, rule):
+    out = []
+    for lineno, line in enumerate(
+            (FIXTURES / name).read_text().splitlines(), 1):
+        if f"BAD {rule}" in line:
+            out.append(lineno)
+    return out
+
+
+class TestRep014:
+    def test_fixture_lines(self):
+        flagged = sorted(f.line for f in
+                         flow_findings("flow_rep014_shared.py", "REP014"))
+        assert flagged == expected_bad_lines("flow_rep014_shared.py",
+                                             "REP014")
+
+    def test_is_a_warning_naming_both_writers(self):
+        (finding,) = flow_findings("flow_rep014_shared.py", "REP014")
+        assert finding.severity is Severity.WARNING
+        assert "_bumper" in finding.message and "_resetter" in finding.message
+        assert "Shared.count" in finding.message
+
+    def test_single_writer_not_flagged(self):
+        findings = flow_findings("flow_rep014_shared.py", "REP014")
+        assert all("Shared.own" not in f.message for f in findings)
+
+    def test_sync_helper_not_a_writer(self):
+        # _helper writes Shared.watch but is not a process generator
+        findings = flow_findings("flow_rep014_shared.py", "REP014")
+        assert all("Shared.watch" not in f.message for f in findings)
+
+    def test_suppression_honoured(self):
+        result = analyze_flow([str(FIXTURES / "flow_rep014_shared.py")])
+        assert all("Suppressed.flag" not in f.message
+                   for f in result.findings)
+        assert result.suppressed >= 1
+
+
+class TestRep015:
+    def test_fixture_lines(self):
+        flagged = sorted(f.line for f in
+                         flow_findings("flow_rep015_torn.py", "REP015"))
+        assert flagged == expected_bad_lines("flow_rep015_torn.py", "REP015")
+
+    def test_is_an_error_naming_the_torn_window(self):
+        (finding,) = flow_findings("flow_rep015_torn.py", "REP015")
+        assert finding.severity is Severity.ERROR
+        assert "Counter.value" in finding.message
+        assert "'v'" in finding.message  # the stale local, by name
+
+    def test_atomic_rmw_not_flagged(self):
+        # _atomic does the whole read-modify-write between yields
+        flagged = {f.line for f in
+                   flow_findings("flow_rep015_torn.py", "REP015")}
+        src = (FIXTURES / "flow_rep015_torn.py").read_text().splitlines()
+        atomic_write = next(i for i, l in enumerate(src, 1)
+                            if "self.value = self.value + 1" in l)
+        assert atomic_write not in flagged
+
+    def test_unshared_rmw_not_flagged(self):
+        # .private has one toucher: torn shape, but nothing to race with
+        findings = flow_findings("flow_rep015_torn.py", "REP015")
+        assert all("private" not in f.message for f in findings)
+
+
+class TestEffectAnalysis:
+    def test_torn_fixture_summary(self):
+        analysis = analyze_races(build_callgraph([str(TORN_SIM)]))
+        doc = analysis.to_dict()
+        assert doc["roots"] >= 2  # _alpha and _beta
+        assert doc["rep014"] == 1 and doc["rep015"] == 1
+        (label,) = doc["shared_writes"]
+        assert label.endswith("TornCounter.count")
+
+    def test_real_tree_races_are_justified(self):
+        # every REP014/REP015 in src/repro is fixed or carries an
+        # in-repo justification (suppression comment at the site)
+        result = analyze_flow(["src/repro"])
+        races = [f for f in result.findings
+                 if f.rule in ("REP014", "REP015")]
+        assert races == []
+
+
+def _load_torn_module():
+    spec = importlib.util.spec_from_file_location("torn_rmw_sim",
+                                                  str(TORN_SIM))
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _run_torn(tiebreak_seed):
+    mod = _load_torn_module()
+    rec = ScheduleRecorder()
+    env = Environment(tiebreak_seed=tiebreak_seed, monitor=rec)
+    rec.bind(env)
+    counter = mod.TornCounter(env)
+    counter.start()
+    env.run()
+    return RunCapture(tiebreak_seed=tiebreak_seed,
+                      schedule=rec.schedule(),
+                      ordered_schedule=rec.ordered(),
+                      proc_refs=rec.proc_refs(),
+                      observables={"count": counter.count},
+                      processed=env.processed_count)
+
+
+class TestPerturbation:
+    def test_fifo_baseline_is_deterministic(self):
+        a, b = _run_torn(None), _run_torn(None)
+        assert a.observables == b.observables
+        assert a.schedule_digest == b.schedule_digest
+
+    def test_same_tiebreak_seed_is_deterministic(self):
+        a, b = _run_torn(7), _run_torn(7)
+        assert a.observables == b.observables
+        assert a.schedule_digest == b.schedule_digest
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_torn_rmw_diverges_under_perturbation(self, seed):
+        base, perturbed = _run_torn(None), _run_torn(seed)
+        assert base.observables != perturbed.observables
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_divergence_attributed_to_the_torn_attribute(self, seed):
+        analysis = analyze_races(build_callgraph([str(TORN_SIM)]))
+        cmp = compare_captures(_run_torn(None), _run_torn(seed), analysis)
+        assert not cmp.ok and not cmp.observables_match
+        assert cmp.divergence is not None
+        # the dynamic tier blames the same attribute the static tier
+        # flagged (REP015 on TornCounter.count), with both stacks
+        (rep15,) = [f for f in analysis.findings if f.rule == "REP015"]
+        assert "TornCounter.count" in rep15.message
+        conflicts = [c for c in cmp.conflicts if c.key[1] == "count"]
+        assert conflicts and conflicts[0].kind == "write-write"
+        stacks = " ".join(conflicts[0].stack_a + conflicts[0].stack_b)
+        assert "_alpha" in stacks and "_beta" in stacks
+
+    def test_divergence_names_both_process_stacks(self):
+        cmp = compare_captures(_run_torn(None), _run_torn(1))
+        quals = {q for _, q, _ in cmp.divergence.procs}
+        assert any(q.endswith("_alpha") for q in quals)
+        assert any(q.endswith("_beta") for q in quals)
+
+
+class TestCanonicalDigests:
+    def test_schedule_digest_order_insensitive_within_timestamp(self):
+        a = [(0.0, ("x", "y")), (1.0, ("z",))]
+        assert schedule_digest(a) == schedule_digest(
+            [(0.0, tuple(sorted(("y", "x")))), (1.0, ("z",))])
+        assert schedule_digest(a) != schedule_digest(
+            [(0.0, ("x",)), (1.0, ("y", "z"))])
+
+    def test_find_divergence_sources(self):
+        def cap(schedule, ordered=()):
+            return RunCapture(tiebreak_seed=None, schedule=list(schedule),
+                              ordered_schedule=list(ordered or schedule),
+                              proc_refs=[frozenset()] * len(schedule),
+                              observables={})
+
+        a = cap([(0.0, ("x",)), (1.0, ("y",))])
+        b = cap([(0.0, ("x",)), (1.0, ("z",))])
+        div = find_divergence(a, b)
+        assert div.source == "schedule" and div.time == 1.0
+        assert div.only_a == ["y"] and div.only_b == ["z"]
+
+        longer = cap([(0.0, ("x",)), (1.0, ("y",)), (2.0, ("y",))])
+        assert find_divergence(a, longer).source == "length"
+
+        # same canonical multiset, different same-instant order
+        o1 = cap([(0.0, ("x", "y"))], ordered=[(0.0, ("x", "y"))])
+        o2 = cap([(0.0, ("x", "y"))], ordered=[(0.0, ("y", "x"))])
+        div = find_divergence(o1, o2)
+        assert div.source == "order" and div.index == 0
+        assert find_divergence(o1, o1) is None
+
+
+class TestComparisonSemantics:
+    def _caps(self, metrics_b, observables_b=None):
+        a = RunCapture(tiebreak_seed=None, schedule=[], ordered_schedule=[],
+                       proc_refs=[], observables={"n": 1},
+                       metrics_digest="da", metrics={"sum": 1.0})
+        b = RunCapture(tiebreak_seed=3, schedule=[], ordered_schedule=[],
+                       proc_refs=[], observables=observables_b or {"n": 1},
+                       metrics_digest="db", metrics=metrics_b)
+        return a, b
+
+    def test_float_drift_within_tolerance_is_ok(self):
+        cmp = compare_captures(*self._caps({"sum": 1.0 + 1e-9}))
+        assert cmp.metrics_close and not cmp.metrics_match
+        assert cmp.ok and not cmp.exact
+
+    def test_float_drift_beyond_tolerance_fails(self):
+        cmp = compare_captures(*self._caps({"sum": 1.01}))
+        assert not cmp.metrics_close and not cmp.ok
+
+    def test_observable_divergence_fails(self):
+        cmp = compare_captures(*self._caps({"sum": 1.0},
+                                           observables_b={"n": 2}))
+        assert not cmp.ok and not cmp.observables_match
+
+    def test_values_close(self):
+        assert _values_close({"a": [1, 2.0]}, {"a": [1, 2.0 + 1e-12]})
+        assert not _values_close({"a": 1}, {"a": 2})
+        assert not _values_close({"a": 1}, {"b": 1})
+        assert not _values_close([1], [1, 2])
+        assert not _values_close(True, 1.0)  # bools are not floats
+
+
+class TestRacecheckCli:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "racecheck", *args],
+            capture_output=True, text=True,
+            cwd=Path(__file__).parent.parent.parent,
+        )
+
+    def test_static_only_fails_on_fixture_rep015(self, tmp_path):
+        out = tmp_path / "deep" / "dir" / "race.json"
+        proc = self._run("--no-dynamic", "--paths", str(TORN_SIM),
+                         "--out", str(out), "--json")
+        assert proc.returncode == 1, proc.stderr
+        doc = json.loads(proc.stdout)
+        assert doc["schema"] == 1 and not doc["ok"]
+        assert not doc["static"]["ok"]
+        rules = {f["rule"] for f in doc["static"]["findings"]}
+        assert rules == {"REP014", "REP015"}
+        # --out creates parent directories and writes the same report
+        on_disk = json.loads(out.read_text())
+        assert on_disk["static"]["findings"] == doc["static"]["findings"]
+
+    def test_static_only_clean_tree_passes(self):
+        proc = self._run("--no-dynamic", "--paths", "src/repro")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 unsuppressed finding(s)" in proc.stdout

@@ -19,7 +19,7 @@ from repro.analysis.sanitize import (
 def make_doc(events, trace="t" * 64, metrics="m" * 64, spans="s" * 64,
              timeline=None, **extra):
     doc = {
-        "schema": 2,
+        "schema": 3,
         "mode": "smoke",
         "version": "coop",
         "fault": "node_crash",
@@ -125,7 +125,7 @@ class TestFingerprint:
     def test_smoke_fingerprint_shape_and_stability(self):
         a = campaign_fingerprint("coop", "node_crash", seed=3, smoke=True)
         b = campaign_fingerprint("coop", "node_crash", seed=3, smoke=True)
-        assert a["schema"] == 2 and a["mode"] == "smoke"
+        assert a["schema"] == 3 and a["mode"] == "smoke"
         assert a["n_events"] == len(a["events"]) > 0
         assert a["n_spans"] > 0  # span tracing rides along
         # in-process, same hash seed: must be bit-identical

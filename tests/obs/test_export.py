@@ -41,6 +41,13 @@ class TestJsonl:
         assert write_jsonl(events, path) == len(events)
         assert read_jsonl(path) == events
 
+    def test_missing_parent_dirs_created(self, tmp_path):
+        # a bare checkout has no results/ dir: --out must still work
+        events = _sample_events()
+        path = str(tmp_path / "results" / "nested" / "trace.jsonl")
+        assert write_jsonl(events, path) == len(events)
+        assert read_jsonl(path) == events
+
     def test_file_object_round_trip(self):
         events = _sample_events()
         buf = io.StringIO()
@@ -62,6 +69,12 @@ class TestCsv:
     def test_round_trip_exact(self, tmp_path):
         events = _sample_events()
         path = str(tmp_path / "trace.csv")
+        assert write_csv(events, path) == len(events)
+        assert read_csv(path) == events
+
+    def test_missing_parent_dirs_created(self, tmp_path):
+        events = _sample_events()
+        path = str(tmp_path / "results" / "trace.csv")
         assert write_csv(events, path) == len(events)
         assert read_csv(path) == events
 

@@ -147,3 +147,133 @@ class TestOrdering:
         ev = env.event().succeed()
         with pytest.raises(SimulationError):
             env.schedule(ev)
+
+
+class TestAddCallbackSyncPath:
+    """add_callback on an already-processed event runs the callback
+    synchronously instead of queuing it."""
+
+    def test_sync_callback_sees_failed_event(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("boom"))
+        ev._defused = True
+        env.run()
+        seen = []
+        ev.add_callback(seen.append)
+        assert seen == [ev] and not ev.ok
+
+    def test_sync_callback_exception_propagates_to_caller(self, env):
+        ev = env.event().succeed()
+        env.run()
+
+        def bad(event):
+            raise ValueError("from callback")
+
+        with pytest.raises(ValueError, match="from callback"):
+            ev.add_callback(bad)
+
+    def test_sync_callback_not_queued_for_later_steps(self, env):
+        ev = env.event().succeed("v")
+        env.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["v"]
+        env.timeout(1.0)
+        env.run()  # further stepping must not re-run the callback
+        assert seen == ["v"]
+
+    def test_pre_processing_callback_still_deferred(self, env):
+        seen = []
+        ev = env.event()
+        ev.add_callback(lambda e: seen.append(env.now))
+        ev.succeed(delay=2.0)
+        assert seen == []  # not yet: the event is queued, not processed
+        env.run()
+        assert seen == [2.0]
+
+
+class TestTiebreakPerturbation:
+    """Seeded randomized tie-break among same-(time, priority) events:
+    the racecheck sanitizer's scheduling knob."""
+
+    def _same_instant_order(self, tiebreak_seed, n=10):
+        env = Environment(tiebreak_seed=tiebreak_seed)
+        order = []
+        for i in range(n):
+            env.timeout(1.0).add_callback(lambda e, i=i: order.append(i))
+        env.run()
+        return order
+
+    def test_seed_stored_and_default_none(self):
+        assert Environment().tiebreak_seed is None
+        assert Environment(tiebreak_seed=7).tiebreak_seed == 7
+
+    def test_heap_entries_gain_salt_only_when_seeded(self):
+        plain = Environment()
+        plain.timeout(1.0)
+        assert len(plain._queue[0]) == 4
+        salted = Environment(tiebreak_seed=1)
+        salted.timeout(1.0)
+        assert len(salted._queue[0]) == 5
+
+    def test_unseeded_keeps_fifo(self):
+        assert self._same_instant_order(None) == list(range(10))
+
+    def test_same_seed_is_deterministic(self):
+        for seed in (1, 2, 99):
+            assert (self._same_instant_order(seed)
+                    == self._same_instant_order(seed))
+
+    def test_salt_permutes_same_instant_events(self):
+        fifo = self._same_instant_order(None)
+        permuted = [s for s in range(1, 8)
+                    if self._same_instant_order(s) != fifo]
+        assert permuted, "no seed in 1..7 permuted a 10-way tie"
+
+    def test_every_event_still_fires_exactly_once(self):
+        for seed in (None, 1, 2):
+            assert sorted(self._same_instant_order(seed)) == list(range(10))
+
+    def test_priority_still_dominates_salt(self):
+        for seed in (1, 2, 3, 4, 5):
+            env = Environment(tiebreak_seed=seed)
+            order = []
+            for i in range(4):
+                ev = env.event()
+                ev.add_callback(lambda e, i=i: order.append(("n", i)))
+                ev.succeed(delay=1.0, priority=NORMAL)
+            for i in range(4):
+                ev = env.event()
+                ev.add_callback(lambda e, i=i: order.append(("u", i)))
+                ev.succeed(delay=1.0, priority=URGENT)
+            env.run()
+            kinds = [k for k, _ in order]
+            assert kinds == ["u"] * 4 + ["n"] * 4
+
+    def test_time_still_dominates_salt(self):
+        for seed in (1, 2, 3):
+            env = Environment(tiebreak_seed=seed)
+            order = []
+            for i, delay in enumerate((3.0, 1.0, 2.0)):
+                env.timeout(delay).add_callback(
+                    lambda e, i=i: order.append(i))
+            env.run()
+            assert order == [1, 2, 0]
+
+    def test_peek_and_run_until_with_salt(self):
+        env = Environment(tiebreak_seed=5)
+        assert env.peek() == float("inf")
+        env.timeout(2.0)
+        env.timeout(4.0)
+        assert env.peek() == 2.0
+        env.run(until=3.0)
+        assert env.now == 3.0
+        assert env.peek() == 4.0
+
+    def test_splitmix64_is_a_stable_bijective_mix(self):
+        from repro.sim.kernel import _splitmix64
+
+        outs = {_splitmix64(i) for i in range(1000)}
+        assert len(outs) == 1000  # no collisions over a small domain
+        assert _splitmix64(42) == _splitmix64(42)
+        assert all(0 <= v < 2 ** 64 for v in outs)
