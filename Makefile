@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-all lint sanitize racecheck bench bench-quick bench-kernel examples clean
+.PHONY: install test test-fast test-all lint perflint sanitize racecheck bench bench-quick bench-kernel examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -28,6 +28,15 @@ lint:
 	@$(PYTHON) -c "import mypy" 2>/dev/null \
 		&& $(PYTHON) -m mypy \
 		|| echo "mypy not installed; skipping (pip install -e .[lint])"
+
+# Hot-path cost analysis: kernel hot set + REP017-021 (allocation,
+# __slots__, telemetry formatting, attribute reloads, linear scans),
+# with the static hot set cross-checked against dynamic TimingProfiler
+# attribution (--validate runs the steady bench scenario once).
+perflint:
+	$(PYTHON) -m repro lint src/repro --perf --strict \
+		--format json --out results/reprolint-perf.json
+	$(PYTHON) -m repro lint src/repro --validate
 
 # Runtime determinism check: the same quick campaign under two
 # PYTHONHASHSEED values must produce identical trace digests.

@@ -64,6 +64,9 @@ class _RouterView(Dispatcher):
 class AuctionDataCluster:
     """Master + read replicas with heartbeat-driven leader election."""
 
+    __slots__ = ("env", "config", "markers", "servers", "master", "_electing",
+                 "_hb_seen", "reads", "writes")
+
     def __init__(self, env: Environment, config: AuctionConfig,
                  markers: Optional[MarkerLog] = None):
         self.env = env

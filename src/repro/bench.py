@@ -23,6 +23,7 @@ never touches simulated time (REP001 allowlist).
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from dataclasses import dataclass, field
@@ -269,15 +270,26 @@ _SPARK = "▁▂▃▄▅▆▇█"
 
 
 def sparkline(values: Sequence[float]) -> str:
-    """Min-max normalized unicode sparkline."""
+    """Min-max normalized unicode sparkline.
+
+    Degenerate ledgers render flat rather than blank or crashing: a
+    single entry, all-equal values, and non-finite values (a corrupt or
+    hand-edited TREND line) all map to the mid-level glyph.
+    """
     if not values:
         return ""
-    lo, hi = min(values), max(values)
+    finite = [v for v in values if math.isfinite(v)]
+    mid = _SPARK[len(_SPARK) // 2]
+    if not finite:
+        return mid * len(values)
+    lo, hi = min(finite), max(finite)
     if hi <= lo:
-        return _SPARK[len(_SPARK) // 2] * len(values)
+        return mid * len(values)
     span = hi - lo
-    return "".join(_SPARK[int((v - lo) / span * (len(_SPARK) - 1))]
-                   for v in values)
+    return "".join(
+        _SPARK[int((v - lo) / span * (len(_SPARK) - 1))]
+        if math.isfinite(v) else mid
+        for v in values)
 
 
 def format_trend(records: List[Dict[str, Any]],

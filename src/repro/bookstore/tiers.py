@@ -9,6 +9,7 @@ makes single-component faults propagate across tiers and produce
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import List, Optional
 
 from repro.hardware.host import Host, NodeService
@@ -17,6 +18,10 @@ from repro.sim.kernel import Environment, Event
 from repro.sim.series import MarkerLog
 from repro.sim.store import Store
 from repro.bookstore.config import BookstoreConfig
+
+#: least-loaded key, built once — dispatch() runs per job and must not
+#: allocate a fresh closure each time
+_BACKLOG = attrgetter("queue.backlog")
 
 
 class Job:
@@ -56,6 +61,8 @@ class Dispatcher:
     target means waiting and retrying until the tier timeout expires.
     """
 
+    __slots__ = ("env", "config", "servers", "_rr")
+
     def __init__(self, env: Environment, config: BookstoreConfig):
         self.env = env
         self.config = config
@@ -75,31 +82,35 @@ class Dispatcher:
 
     def dispatch(self, job: Job):
         """Generator: returns True once the job is queued, False on timeout."""
-        deadline = self.env.now + self.config.tier_timeout
-        empty_deadline = self.env.now + min(self.NO_TARGET_PATIENCE,
-                                            self.config.tier_timeout)
-        while self.env.now < deadline:
+        env = self.env
+        deadline = env.now + self.config.tier_timeout
+        empty_deadline = env.now + min(self.NO_TARGET_PATIENCE,
+                                       self.config.tier_timeout)
+        while env.now < deadline:
             targets = self.candidates()
             if targets:
                 self._rr += 1
                 rotated = targets[self._rr % len(targets):] + \
                     targets[:self._rr % len(targets)]
-                target = min(rotated, key=lambda s: s.queue.backlog)
+                target = min(rotated, key=_BACKLOG)
                 put_ev = target.queue.put(job)
-                timeout = self.env.timeout(max(deadline - self.env.now, 0.0))
-                yield AnyOf(self.env, [put_ev, timeout])
+                timeout = env.timeout(max(deadline - env.now, 0.0))
+                yield AnyOf(env, [put_ev, timeout])
                 if put_ev.triggered:
                     return True
                 put_ev.cancel()
                 return False
             if self.env.now >= empty_deadline:
                 return False  # fail fast: the whole tier is gone right now
-            yield self.env.timeout(0.05)
+            yield env.timeout(0.05)
         return False
 
 
 class TierServer(NodeService):
     """A generic staged server (web or application tier)."""
+
+    __slots__ = ("tier", "config", "downstream", "markers", "queue",
+                 "_running", "jobs_done")
 
     def __init__(
         self,
@@ -251,6 +262,8 @@ class DbCluster(Dispatcher):
     not: the database wedges while still heartbeating, the same
     blind spot PRESS's membership service has).
     """
+
+    __slots__ = ("markers", "primary", "_promoting", "_hb_seen")
 
     def __init__(self, env, config: BookstoreConfig,
                  markers: Optional[MarkerLog] = None):

@@ -653,6 +653,7 @@ def cmd_lint(args) -> int:
         raise SystemExit(f"error: no such path: {', '.join(missing)}")
 
     run_flow = args.flow or bool(args.callgraph_out)
+    run_perf = args.perf or args.validate
     changed: Optional[List[str]] = None
     if args.diff is not None:
         changed = _restrict_to_changed(args.paths, args.diff)
@@ -686,17 +687,47 @@ def cmd_lint(args) -> int:
                 flow.graph.write_json(fp, sim_seeds=flow.sim_seeds,
                                       sim_reachable=flow.sim_reachable)
 
+    perf = None
+    if run_perf:
+        from repro.analysis.lint import Finding, LintResult
+        from repro.analysis.perfcheck import (
+            analyze_perf,
+            validate_against_profile,
+        )
+
+        # like --flow, the hot set spans the full requested tree; --diff
+        # narrows which findings are reported, not what is analyzed
+        perf = analyze_perf(args.paths)
+        if args.validate:
+            print("perf: running the steady bench scenario for dynamic "
+                  "attribution...", file=sys.stderr)
+            validate_against_profile(perf)
+        perf_findings: List[Finding] = perf.findings
+        if changed is not None:
+            keep = {str(Path(c).resolve()) for c in changed}
+            perf_findings = [f for f in perf_findings
+                             if str(Path(f.path).resolve()) in keep]
+        merged = sorted(result.findings + perf_findings,
+                        key=lambda f: (f.path, f.line, f.col, f.rule))
+        result = LintResult(findings=merged,
+                            files_scanned=result.files_scanned,
+                            suppressed=result.suppressed + perf.suppressed,
+                            declared_suppressions=result.declared_suppressions,
+                            used_suppressions=result.used_suppressions)
+
     from repro.analysis.lint import LintResult, audit_suppressions
 
     used = {path: dict(by_line)
             for path, by_line in result.used_suppressions.items()}
-    if flow is not None:
-        for path, by_line in flow.used_suppressions.items():
+    for extra in (flow, perf):
+        if extra is None:
+            continue
+        for path, by_line in extra.used_suppressions.items():
             dst = used.setdefault(path, {})
             for line, ids in by_line.items():
                 dst[line] = dst.get(line, set()) | ids
     audit = audit_suppressions(result.declared_suppressions, used,
-                               flow_ran=run_flow)
+                               flow_ran=run_flow, perf_ran=run_perf)
     if changed is not None:
         keep = {str(Path(c).resolve()) for c in changed}
         audit = [f for f in audit if str(Path(f.path).resolve()) in keep]
@@ -712,12 +743,12 @@ def cmd_lint(args) -> int:
     if args.out:
         Path(args.out).parent.mkdir(parents=True, exist_ok=True)
         with open(args.out, "w", encoding="utf-8") as fp:
-            write_json(result, fp, flow=flow)
+            write_json(result, fp, flow=flow, perf=perf)
     if args.format == "json":
-        print(json.dumps(render_json(result, flow=flow), indent=2,
+        print(json.dumps(render_json(result, flow=flow, perf=perf), indent=2,
                          sort_keys=True))
     else:
-        print(render_text(result, verbose=args.verbose, flow=flow))
+        print(render_text(result, verbose=args.verbose, flow=flow, perf=perf))
     failed = bool(result.errors) or (args.strict and result.warnings)
     return 1 if failed else 0
 
@@ -1014,7 +1045,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("lint",
                        help="repo-native static analysis "
-                            "(reprolint rules REP001..REP013)")
+                            "(reprolint rules REP001..REP021)")
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
     p.add_argument("--format", choices=("text", "json"), default="text")
@@ -1032,6 +1063,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "lost generators (REP011-012)")
     p.add_argument("--callgraph-out", default=None, metavar="FILE",
                    help="write the call graph as JSON (implies --flow)")
+    p.add_argument("--perf", action="store_true",
+                   help="hot-path cost analysis: kernel hot set + "
+                        "REP017-021 (allocation, __slots__, telemetry "
+                        "formatting, attribute reloads, linear scans)")
+    p.add_argument("--validate", action="store_true",
+                   help="cross-check the static hot set against dynamic "
+                        "TimingProfiler attribution (runs the steady "
+                        "bench scenario; implies --perf)")
     p.add_argument("--diff", default=None, metavar="GIT_REF",
                    help="only report findings in files changed since "
                         "GIT_REF (fast pre-commit mode)")

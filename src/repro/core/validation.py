@@ -89,9 +89,10 @@ def _fault_load_driver(world: World, catalog: FaultCatalog,
     total_rate = sum(rate for _, rate in rates)
     probs = np.array([rate for _, rate in rates]) / total_rate
     kinds = [kind for kind, _ in rates]
-    while env.now < horizon:
+    timeout = env.timeout
+    while env.now < horizon:  # reprolint: disable=REP020 -- env.now advances across this loop's yields; caching it would freeze simulated time
         gap = float(rng.exponential(1.0 / total_rate))
-        yield env.timeout(gap)
+        yield timeout(gap)
         if env.now >= horizon:
             return
         kind = kinds[int(rng.choice(len(kinds), p=probs))]
@@ -99,12 +100,12 @@ def _fault_load_driver(world: World, catalog: FaultCatalog,
         mttr = catalog[kind].mttr
         log.append((env.now, kind))
         fault = world.injector.inject(kind, target)
-        yield env.timeout(mttr)
+        yield timeout(mttr)
         world.injector.repair(fault)
         # Post-repair: give the service time to recover; if it stays
         # degraded (splintered), the operator resets it — the same policy
         # the single-fault campaigns apply.
-        yield env.timeout(recovery_wait)
+        yield timeout(recovery_wait)
         t0, t1 = env.now - min(recovery_wait, 20.0), env.now
         normal = world.offered_rate
         if world.stats.series.mean_rate(t0, t1) < operator_threshold * normal:

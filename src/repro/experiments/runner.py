@@ -41,7 +41,7 @@ from repro.workload.stats import RequestStats
 from repro.workload.trace import SyntheticTrace
 
 
-@dataclass
+@dataclass(slots=True)
 class World:
     """A live deployment plus its instrumentation."""
 

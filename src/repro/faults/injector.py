@@ -36,6 +36,9 @@ class ActiveFault:
 class FaultInjector:
     """Inject/repair the eight fault kinds of Table 1."""
 
+    __slots__ = ("env", "hosts", "network", "disks", "frontends", "app_of",
+                 "markers", "_metrics", "_counters", "_active")
+
     def __init__(
         self,
         env: Environment,
@@ -55,6 +58,7 @@ class FaultInjector:
         self.app_of = app_of
         self.markers = markers if markers is not None else MarkerLog()
         self._metrics = (telemetry if telemetry is not None else NULL_TELEMETRY).metrics
+        self._counters: Dict[tuple, object] = {}
         self._active: Dict[FaultComponent, ActiveFault] = {}
 
     # -- public API ----------------------------------------------------------
@@ -65,7 +69,7 @@ class FaultInjector:
         self._apply(comp)
         fault = ActiveFault(comp, self.env.now)
         self._active[comp] = fault
-        self._metrics.counter("faults_injected", kind=kind.value).inc()
+        self._counter("faults_injected", kind).inc()
         self.markers.mark(self.env.now, "fault_injected", comp)
         return fault
 
@@ -74,8 +78,7 @@ class FaultInjector:
             return
         self._undo(fault.component)
         fault.repaired_at = self.env.now
-        self._metrics.counter("faults_repaired",
-                              kind=fault.component.kind.value).inc()
+        self._counter("faults_repaired", fault.component.kind).inc()
         self.markers.mark(self.env.now, "fault_repaired", fault.component)
 
     def inject_for(self, kind: FaultKind, target: str, duration: float) -> ActiveFault:
@@ -88,6 +91,15 @@ class FaultInjector:
 
         self.env.process(_repair_later(), name=f"repair-{kind.value}")
         return fault
+
+    def _counter(self, name: str, kind: FaultKind):
+        """Per-(name, kind) counter, bound once: the registry lookup
+        happens on the first fault of each kind, not on every event."""
+        ctr = self._counters.get((name, kind))
+        if ctr is None:
+            ctr = self._metrics.counter(name, kind=kind.value)  # reprolint: disable=REP019 -- cached above: the registry lookup runs once per fault kind, not per event
+            self._counters[(name, kind)] = ctr
+        return ctr
 
     def active_faults(self):
         return [f for f in self._active.values() if f.active]

@@ -64,7 +64,7 @@ class Symptoms:
         return self.disks_ok and self.app_responsive
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultModel:
     """The designers' abstract fault model + enforcement policy."""
 

@@ -51,6 +51,9 @@ class FmeConfig:
 class FmeDaemon(NodeService):
     """Per-node FME process (its own ProcGroup, separate from the app)."""
 
+    __slots__ = ("app", "config", "model", "markers", "_spans",
+                 "enforcements")
+
     service_name = "fme"
 
     def __init__(
@@ -151,7 +154,7 @@ class FmeDaemon(NodeService):
             # crashing the host from within one of its processes would
             # kill the running generator out from under itself.
             host.crash()
-            while any(d.faulty for d in host.disks):
+            while any(d.faulty for d in host.disks):  # reprolint: disable=REP017 -- paced by reboot_poll during a repair, not per event
                 yield env.timeout(cfg.reboot_poll)
             yield env.timeout(cfg.reboot_delay)
             if not host.is_up:
@@ -177,6 +180,9 @@ class SfmeMonitor:
     a node that cannot carry its share.
     """
 
+    __slots__ = ("env", "frontend", "backends", "poll_interval", "markers",
+                 "actions")
+
     def __init__(
         self,
         env: Environment,
@@ -197,7 +203,7 @@ class SfmeMonitor:
         views = []
         for b in self.backends:
             if b.listening:
-                views.append(frozenset(b.coop_view()))
+                views.append(frozenset(b.coop_view()))  # reprolint: disable=REP017 -- poll-paced, and the frozenset IS the compared view value
         if not views:
             return None
         return max(views, key=lambda v: (len(v), -min(v)))

@@ -61,6 +61,11 @@ class FrontEndConfig:
 class FrontEnd(Router):
     """The request distributor + Mon monitor."""
 
+    __slots__ = ("env", "host", "config", "markers", "_spans", "_c_probes",
+                 "_c_probe_fail", "_g_active", "backends", "active",
+                 "_fail_counts", "_forced_out", "_rr", "_functioning",
+                 "_primary_up")
+
     def __init__(
         self,
         env: Environment,
@@ -121,26 +126,34 @@ class FrontEnd(Router):
     def _monitor(self, backend):
         cfg = self.config
         key = id(backend)
+        # Loop-invariant bindings: the maps and marker log are mutated in
+        # place but never rebound, and the backend's host name is fixed.
+        env = self.env
+        fail_counts = self._fail_counts
+        active = self.active
+        mark = self.markers.mark
+        backend_name = backend.host.name
         while True:
-            yield self.env.timeout(cfg.probe_interval)
+            yield env.timeout(cfg.probe_interval)
             if not self._functioning:
                 continue
             self._c_probes.inc()
+            now = env.now  # no yields below: time is constant this round
             if self._probe_ok(backend):
-                self._fail_counts[key] = 0
-                if not self.active[key]:
-                    self.active[key] = True
+                fail_counts[key] = 0
+                if not active[key]:
+                    active[key] = True
                     self._update_active_gauge()
-                    self.markers.mark(self.env.now, "fe_node_up", backend.host.name)
+                    mark(now, "fe_node_up", backend_name)
             else:
                 self._c_probe_fail.inc()
-                self._fail_counts[key] += 1
-                if self._fail_counts[key] >= cfg.failure_threshold and self.active[key]:
-                    self.active[key] = False
+                fail_counts[key] += 1
+                if fail_counts[key] >= cfg.failure_threshold and active[key]:
+                    active[key] = False
                     self._update_active_gauge()
-                    self.markers.mark(self.env.now, "detected",
-                                      ("mon", self.host.name, backend.host.name))
-                    self.markers.mark(self.env.now, "fe_node_down", backend.host.name)
+                    mark(now, "detected",
+                         ("mon", self.host.name, backend_name))
+                    mark(now, "fe_node_down", backend_name)
 
     def _update_active_gauge(self) -> None:
         self._g_active.set(sum(

@@ -44,6 +44,8 @@ class MembershipConfig:
 class MembershipNetwork:
     """Registry mapping node ids to (host, inbox) for daemon unicast."""
 
+    __slots__ = ("net", "_daemons")
+
     def __init__(self, net: ClusterNetwork):
         self.net = net
         self._daemons: Dict[int, "MembershipDaemon"] = {}
@@ -68,6 +70,12 @@ class MembershipNetwork:
 
 class MembershipDaemon(NodeService):
     """One membership daemon per node."""
+
+    __slots__ = ("node_id", "mnet", "config", "markers", "_tracer",
+                 "_g_view_size", "_g_view_version", "_c_exclusions",
+                 "shared_view", "inbox", "view", "version", "_hb_seen",
+                 "_last_hb_sent", "_last_merge", "_pending", "_joining",
+                 "_join_deadline", "_join_cooldown")
 
     service_name = "membd"
 

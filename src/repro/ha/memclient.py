@@ -23,6 +23,8 @@ class SharedView:
     the node.
     """
 
+    __slots__ = ("version", "members")
+
     def __init__(self) -> None:
         self.version = 0
         self.members: Set[int] = set()
@@ -45,6 +47,9 @@ class MembershipClient:
     the last delivered state.  ``node_down(nid)`` forwards an
     application-detected failure to the local daemon.
     """
+
+    __slots__ = ("env", "view", "node_in", "node_out", "daemon",
+                 "poll_interval", "_delivered", "_proc")
 
     def __init__(
         self,
@@ -69,10 +74,10 @@ class MembershipClient:
         while True:
             yield self.env.timeout(self.poll_interval)
             current = self.view.snapshot()
-            for nid in sorted(current - self._delivered):
+            for nid in sorted(current - self._delivered):  # reprolint: disable=REP021 -- determinism: joins must be delivered in nid order; the diff is near-empty per poll
                 self._delivered.add(nid)
                 self.node_in(nid)
-            for nid in sorted(self._delivered - current):
+            for nid in sorted(self._delivered - current):  # reprolint: disable=REP021 -- determinism: leaves must be delivered in nid order; the diff is near-empty per poll
                 self._delivered.discard(nid)
                 self.node_out(nid)
 

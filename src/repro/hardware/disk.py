@@ -20,7 +20,7 @@ from repro.sim.kernel import Environment, Event
 from repro.sim.store import Store
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiskParams:
     """Service-time model: seek+rotational overhead plus streaming transfer."""
 
@@ -55,6 +55,9 @@ class DiskOp:
 
 class Disk:
     """A single spindle attached to a host."""
+
+    __slots__ = ("env", "host", "index", "name", "params", "rng", "queue",
+                 "faulty", "_repaired", "ops_served")
 
     def __init__(
         self,

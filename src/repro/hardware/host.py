@@ -60,6 +60,8 @@ class NodeService:
     The host calls :meth:`start` again after crash repair.
     """
 
+    __slots__ = ("host", "env", "name", "group", "fault_latched")
+
     #: name under which the service registers on its host
     service_name: str = "service"
 
@@ -142,6 +144,9 @@ class NodeService:
 
 class Host:
     """A cluster node: process groups, disks, lifecycle state."""
+
+    __slots__ = ("env", "name", "node_id", "boot_time", "groups", "services",
+                 "disks", "_up", "_frozen", "os", "on_boot_hooks")
 
     def __init__(self, env: Environment, name: str, node_id: int, boot_time: float = 30.0):
         self.env = env

@@ -41,6 +41,9 @@ class ClusterNetwork:
     a cLAN-class SAN (default 100 us + 1 Gb/s).
     """
 
+    __slots__ = ("env", "latency", "bandwidth", "switch", "links",
+                 "_multicast")
+
     def __init__(
         self,
         env: Environment,

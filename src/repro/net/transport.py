@@ -44,6 +44,8 @@ RETRY_INTERVAL = 0.2
 class Connection:
     """A bidirectional connection between two hosts."""
 
+    __slots__ = ("env", "net", "open", "_endpoints")
+
     def __init__(
         self,
         env: Environment,
@@ -78,7 +80,7 @@ class Connection:
             return
         self.open = False
         for ep in self._endpoints.values():
-            for proc in list(ep._senders):
+            for proc in list(ep._senders):  # reprolint: disable=REP017 -- snapshot required: interrupt() mutates _senders mid-iteration, and reset runs per fault, not per event
                 proc.interrupt("connection reset")
             ep._senders.clear()
             ep.buffer.clear()
@@ -87,6 +89,8 @@ class Connection:
 
 class Endpoint:
     """One side of a connection."""
+
+    __slots__ = ("conn", "host", "peer", "buffer", "_senders")
 
     def __init__(self, conn: Connection, host, peer):
         self.conn = conn
@@ -128,16 +132,17 @@ class Endpoint:
             span = spans.start("net", "network", self.host.name, ctx,
                                dst=self.peer.name,
                                kind=getattr(msg, "kind", None))
+        peer = self.peer  # never rebound after connect; skip the lookups
         try:
             while True:
                 if not self.conn.open:
-                    raise ConnectionClosed(f"to {self.peer.name}")
-                if net.reachable(self.host, self.peer):
+                    raise ConnectionClosed(f"to {peer.name}")
+                if net.reachable(self.host, peer):
                     yield env.timeout(net.transfer_time(size))
                     if not self.conn.open:
-                        raise ConnectionClosed(f"to {self.peer.name}")
-                    if net.reachable(self.host, self.peer):
-                        remote = self.conn.endpoint(self.peer).buffer
+                        raise ConnectionClosed(f"to {peer.name}")
+                    if net.reachable(self.host, peer):
+                        remote = self.conn.endpoint(peer).buffer
                         yield remote.put(msg)  # flow control: blocks while full
                         if span is not None:
                             spans.finish(span, outcome="delivered")

@@ -189,6 +189,8 @@ class MetricsHub:
     the shared null instruments and snapshots to an empty list.
     """
 
+    __slots__ = ("enabled", "_metrics")
+
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._metrics: Dict[Tuple[str, LabelKey], Any] = {}

@@ -25,6 +25,8 @@ class LruCache:
     default to shared null counters — standalone use pays one no-op call.
     """
 
+    __slots__ = ("capacity", "_hits", "_misses", "_evictions", "_entries")
+
     def __init__(self, capacity: int, hits=NULL_COUNTER, misses=NULL_COUNTER,
                  evictions=NULL_COUNTER):
         if capacity < 0:
@@ -82,6 +84,8 @@ class LruCache:
 
 class CacheDirectory:
     """This node's view of which peer caches which files."""
+
+    __slots__ = ("_by_node", "_by_file")
 
     def __init__(self) -> None:
         self._by_node: Dict[int, Set[int]] = {}

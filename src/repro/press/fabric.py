@@ -23,6 +23,8 @@ PRESS_CONTROL = "press.control"
 class ClusterFabric:
     """Socket layer + well-known addresses for one PRESS cluster."""
 
+    __slots__ = ("env", "net", "_servers")
+
     def __init__(self, env: Environment, net: ClusterNetwork):
         self.env = env
         self.net = net

@@ -27,6 +27,11 @@ from repro.workload.client import Request
 class IndepServer(NodeService):
     """One independent server process."""
 
+    __slots__ = ("node_id", "config", "trace", "markers", "_tracer",
+                 "_c_hits", "_c_misses", "_c_evict", "_c_served", "_c_disk",
+                 "main_q", "disk_q", "_running", "cache", "client_pending",
+                 "requests_served", "pending_fetch")
+
     service_name = "press"  # same application slot as the cooperative server
 
     def __init__(
@@ -115,35 +120,37 @@ class IndepServer(NodeService):
     # -- threads -------------------------------------------------------------
     def _main_loop(self):
         cfg = self.config
+        timeout = self.env.timeout  # bound once; called on every event
         while True:
             kind, item = yield self.main_q.get()
             if kind == "client":
-                yield self.env.timeout(cfg.cpu_parse)
+                yield timeout(cfg.cpu_parse)
                 if item.expired:
                     self.client_pending -= 1
                     continue
-                if self.cache.lookup(item.fid):
-                    yield self.env.timeout(cfg.cpu_serve)
+                fid = item.fid
+                if self.cache.lookup(fid):
+                    yield timeout(cfg.cpu_serve)
                     self._respond(item)
                 else:
-                    waiters = self.pending_fetch.get(item.fid)
+                    waiters = self.pending_fetch.get(fid)
                     if waiters is not None:
                         waiters.append(item)
                     else:
-                        self.pending_fetch[item.fid] = [item]
+                        self.pending_fetch[fid] = [item]
                         self._c_disk.inc()
-                        yield self.disk_q.put(item.fid)  # blocks when disks stall
+                        yield self.disk_q.put(fid)  # blocks when disks stall
             elif kind == "disk":
-                yield self.env.timeout(cfg.cpu_disk_done)
+                yield timeout(cfg.cpu_disk_done)
                 self.cache.insert(item)
                 for req in self.pending_fetch.pop(item, []):
                     if req.expired:
                         self.client_pending -= 1
                         continue
-                    yield self.env.timeout(cfg.cpu_serve)
+                    yield timeout(cfg.cpu_serve)
                     self._respond(req)
             elif kind == "probe":
-                yield self.env.timeout(cfg.cpu_control)
+                yield timeout(cfg.cpu_control)
                 if not item.triggered:
                     item.succeed()
 

@@ -93,6 +93,18 @@ class PeerLink:
 class PressServer(NodeService):
     """Cooperative PRESS on one node."""
 
+    __slots__ = ("node_id", "config", "trace", "fabric", "markers", "_tracer",
+                 "_spans", "_c_hits", "_c_misses", "_c_evict", "_c_served",
+                 "_c_forwards", "_c_remote", "_c_disk", "_c_reroutes",
+                 "_c_drops", "_c_qmon", "_c_excl", "_c_hb", "main_q", "ctl_q",
+                 "disk_q", "shared_view", "_running", "cache", "directory",
+                 "_sat_last", "pending_fetch", "coop", "links", "loads",
+                 "fwd_pending", "_q_spans", "_fwd_spans", "client_pending",
+                 "_next_reqid", "_progress", "_progress_at_hb", "_hb_seen",
+                 "_last_hb_sent", "_joined", "_last_rejoin",
+                 "_seen_view_version", "_grace_until", "_warm_mode",
+                 "_warm_streak", "requests_served")
+
     service_name = "press"
 
     #: minimum spacing (sim seconds) between queue_saturated trace events
@@ -658,35 +670,40 @@ class PressServer(NodeService):
     def _control_loop(self):
         while True:
             msg = yield self.ctl_q.get()
+            # Per-iteration bindings: msg fields are immutable, and
+            # self.coop is only rebound between iterations (rejoin).
             kind = msg.kind
+            src = msg.src
+            payload = msg.payload
+            coop = self.coop
             if kind == "tick":
                 self._control_tick()
             elif kind == "hb":
-                self._hb_seen[msg.src] = self.env.now
+                self._hb_seen[src] = self.env.now
             elif kind == "node_dead":
                 # Only honor reconfiguration announcements from current
                 # members: a splintered node mis-declaring healthy peers
                 # dead must not take down the surviving sub-cluster.
-                target = msg.payload
-                if (msg.src in self.coop and target != self.node_id
-                        and target in self.coop):
+                target = payload
+                if (src in coop and target != self.node_id
+                        and target in coop):
                     self._exclude(target, "announced", announce=False)
             elif kind == "conn_closed":
-                if msg.src in self.links:
-                    self._exclude(msg.src, "conn_reset", announce=True)
+                if src in self.links:
+                    self._exclude(src, "conn_reset", announce=True)
             elif kind == "rejoin":
-                self._handle_rejoin(msg.src)
+                self._handle_rejoin(src)
             elif kind == "config":
-                self._handle_config(msg.payload)
+                self._handle_config(payload)
             elif kind in ("cache_add", "cache_del"):
-                if msg.src in self.coop and msg.src != self.node_id:
-                    payload = msg.payload or {}
+                if src in coop and src != self.node_id:
+                    payload = payload or {}
                     if "load" in payload:
-                        self.loads[msg.src] = payload["load"]
+                        self.loads[src] = payload["load"]
                     if kind == "cache_add":
-                        self.directory.add(msg.src, payload["fid"])
+                        self.directory.add(src, payload["fid"])
                     else:
-                        self.directory.remove(msg.src, payload["fid"])
+                        self.directory.remove(src, payload["fid"])
 
     def _control_tick(self) -> None:
         cfg = self.config

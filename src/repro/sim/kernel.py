@@ -128,7 +128,7 @@ class Event:
 class Timeout(Event):
     """An event that triggers automatically ``delay`` time units from now."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
@@ -149,6 +149,9 @@ class Environment:
         env.process(my_generator(env))
         env.run(until=600.0)
     """
+
+    __slots__ = ("_now", "_queue", "_seq", "_processed", "_stopped",
+                 "_tiebreak_seed", "_monitor", "_spans", "_spawn_ctx")
 
     def __init__(self, initial_time: float = 0.0, monitor=None,
                  tiebreak_seed: Optional[int] = None):

@@ -18,6 +18,9 @@ from repro.sim.store import Store
 class GaugeProbe:
     """Samples ``gauge()`` every ``period`` seconds."""
 
+    __slots__ = ("env", "gauge", "period", "name", "_times", "_values",
+                 "_proc")
+
     def __init__(self, env: Environment, gauge: Callable[[], float],
                  period: float = 1.0, name: str = ""):
         if period <= 0:

@@ -54,6 +54,8 @@ class ProcessOwner:
     are injected and repaired.
     """
 
+    __slots__ = ("_procs", "_parked", "_frozen", "_owner_alive")
+
     def __init__(self) -> None:
         # Insertion-ordered set: crash() kills processes in spawn order.
         # A plain set would iterate in id()-hash order, which varies from

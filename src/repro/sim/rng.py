@@ -29,6 +29,8 @@ def derive_seed(master_seed: int, name: str) -> int:
 class RngRegistry:
     """Factory and cache of named ``numpy.random.Generator`` streams."""
 
+    __slots__ = ("master_seed", "_streams")
+
     def __init__(self, master_seed: int = 0):
         if master_seed < 0:
             raise ValueError("master seed must be non-negative")

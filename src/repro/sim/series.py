@@ -18,6 +18,8 @@ import numpy as np
 class ThroughputSeries:
     """Append-only log of event timestamps (e.g. successful responses)."""
 
+    __slots__ = ("name", "_times")
+
     def __init__(self, name: str = ""):
         self.name = name
         self._times: List[float] = []

@@ -45,7 +45,7 @@ class StorePut(Event):
 class StoreGet(Event):
     """Pending get; triggers with the item as value."""
 
-    __slots__ = ("_store",)
+    __slots__ = ("_store")
 
     def __init__(self, store: "Store"):
         super().__init__(store.env)
@@ -63,6 +63,9 @@ class StoreGet(Event):
 class Store:
     """FIFO queue of Python objects with optional capacity bound."""
 
+    __slots__ = ("env", "capacity", "name", "items", "_put_waiters",
+                 "_get_waiters")
+
     def __init__(self, env: Environment, capacity: float = float("inf"), name: str = ""):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -70,8 +73,10 @@ class Store:
         self.capacity = capacity
         self.name = name
         self.items: Deque[Any] = deque()
-        self._put_waiters: list = []
-        self._get_waiters: list = []
+        # deques, not lists: _reconcile pops from the head on every
+        # admitted put/get, and a list.pop(0) is O(n) in queued waiters
+        self._put_waiters: Deque[StorePut] = deque()
+        self._get_waiters: Deque[StoreGet] = deque()
 
     # -- introspection ----------------------------------------------------
     @property
@@ -140,7 +145,7 @@ class Store:
         lost — exactly TCP-send semantics on a reset connection.
         Returns the number of putters released.
         """
-        waiters, self._put_waiters = self._put_waiters, []
+        waiters, self._put_waiters = self._put_waiters, deque()
         for put in waiters:
             put.succeed()
         return len(waiters)
@@ -172,13 +177,13 @@ class Store:
             progress = False
             # Admit queued putters while there is room.
             while self._put_waiters and len(self.items) < self.capacity:
-                put = self._put_waiters.pop(0)
+                put = self._put_waiters.popleft()
                 self.items.append(put.item)
                 put.succeed()
                 progress = True
             # Satisfy queued getters while there are items.
             while self._get_waiters and self.items:
-                get = self._get_waiters.pop(0)
+                get = self._get_waiters.popleft()
                 get.succeed(self.items.popleft())
                 progress = True
 

@@ -29,7 +29,7 @@ from repro.workload.stats import Outcome, RequestStats
 from repro.workload.trace import SyntheticTrace
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientConfig:
     """Aggregate client behaviour (the paper's 4 client machines)."""
 
@@ -86,6 +86,9 @@ class Request:
 class Router:
     """Chooses a backend for each request; None = connection impossible."""
 
+    __slots__ = ()
+
+
     def pick(self, request: Request):  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -109,6 +112,11 @@ class DnsRouter(Router):
 
 class ClientPool:
     """The aggregate open-loop client population."""
+
+    __slots__ = ("env", "trace", "router", "stats", "config", "rng",
+                 "_started", "_tracer", "_trace_ok", "_spans", "_next_req_id",
+                 "_c_issued", "_c_ok", "_h_latency", "_h_latency_expired",
+                 "_c_fail")
 
     def __init__(
         self,

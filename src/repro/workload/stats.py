@@ -23,6 +23,8 @@ class LatencyReservoir:
     (Vitter's algorithm R); deterministic given a seed.
     """
 
+    __slots__ = ("capacity", "_samples", "_seen", "_rng")
+
     def __init__(self, capacity: int = 4096, seed: int = 0):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -65,6 +67,9 @@ class Outcome(str, enum.Enum):
 
 class RequestStats:
     """Counters + time series for one experiment run."""
+
+    __slots__ = ("issued", "outcomes", "series", "issued_series",
+                 "latency_sum", "latencies", "censored_latencies")
 
     def __init__(self) -> None:
         self.issued = 0

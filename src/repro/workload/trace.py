@@ -42,6 +42,8 @@ class SyntheticTrace:
     tests easy to reason about.
     """
 
+    __slots__ = ("config", "rng", "_pmf", "_cdf")
+
     def __init__(self, config: TraceConfig, rng: np.random.Generator):
         self.config = config
         self.rng = rng

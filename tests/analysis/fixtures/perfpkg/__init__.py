@@ -1,0 +1,1 @@
+"""Mini package exercising the perf pass (hot set, REP017-REP021)."""

@@ -1,0 +1,17 @@
+"""Mini event loop: every function here seeds the hot set by path."""
+
+
+class MiniEnv:
+    __slots__ = ("queue",)
+
+    def __init__(self):
+        self.queue = []
+
+    def process(self, gen, name=""):
+        self.queue.append(gen)
+        return gen
+
+    def run(self):
+        while self.queue:
+            gen = self.queue.pop(0)
+            gen.send(None)

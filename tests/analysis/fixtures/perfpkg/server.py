@@ -1,0 +1,88 @@
+"""Hot handlers reached via dynamic dispatch and spawn roots, plus one
+deliberate specimen of each perf rule (REP017-REP021)."""
+
+from dataclasses import dataclass
+
+from perfpkg.kernel import MiniEnv
+
+
+@dataclass(frozen=True, slots=True)
+class Config:
+    """Slots via the decorator: REP018 must stay quiet."""
+
+    limit: int = 3
+
+    def cap(self):
+        return self.limit
+
+
+class Log:
+    __slots__ = ("enabled", "lines")
+
+    def __init__(self):
+        self.enabled = False
+        self.lines = []
+
+    def emit(self, text):
+        if self.enabled:
+            self.lines.append(text)
+
+
+class Msg:
+    __slots__ = ("kind",)
+
+    def __init__(self, kind):
+        self.kind = kind
+
+
+class Server:
+    """Hot methods but no __slots__: REP018 fires here."""
+
+    def __init__(self, env: MiniEnv):
+        self.env = env
+        self.cfg = Config()
+        self.log = Log()
+        self.pending = []
+
+    def dispatch(self, msg: Msg):
+        handler = getattr(self, f"_on_{msg.kind}")
+        return handler(msg)
+
+    def _on_hit(self, msg):
+        return self.cfg.cap()
+
+    def _on_miss(self, msg):
+        return msg
+
+    def main_loop(self):
+        while True:
+            batch = list(self.pending)
+            self.log.emit(f"tick {len(batch)}")
+            if self.log.enabled:
+                self.log.emit(f"debug {len(batch)}")
+            if len(self.env.queue) > 0 and self.env.queue is not None:
+                batch.append(self.env.queue)
+            for msg in sorted(batch):
+                if msg in self.pending:
+                    continue
+                self.dispatch(msg)
+            yield batch
+
+
+def cold_helper():
+    """Unreachable from the kernel and from every spawn root."""
+    return 42
+
+
+class ColdReport:
+    """No hot methods: REP018 must stay quiet despite no __slots__."""
+
+    def render(self):
+        return cold_helper()
+
+
+def build():
+    env = MiniEnv()
+    srv = Server(env)
+    env.process(srv.main_loop(), name="main")
+    return srv

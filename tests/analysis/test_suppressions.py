@@ -92,6 +92,24 @@ class TestAuditSuppressions:
         (f,) = audit_suppressions(declared, {}, flow_ran=True)
         assert "disable=all" in f.message
 
+    def test_perf_rule_skipped_without_perf_pass(self):
+        declared = {"a.py": {3: {"REP018"}}}
+        assert audit_suppressions(declared, {}, perf_ran=False) == []
+        (f,) = audit_suppressions(declared, {}, perf_ran=True)
+        assert "REP018" in f.message
+
+    def test_perf_rule_not_audited_by_flow_alone(self):
+        # --flow must not flag a perf suppression as stale (and vice versa)
+        declared = {"a.py": {3: {"REP020"}}}
+        assert audit_suppressions(declared, {}, flow_ran=True) == []
+        declared = {"a.py": {4: {"REP008"}}}
+        assert audit_suppressions(declared, {}, perf_ran=True) == []
+
+    def test_disable_all_audited_under_perf(self):
+        declared = {"a.py": {3: {"ALL"}}}
+        (f,) = audit_suppressions(declared, {}, perf_ran=True)
+        assert "disable=all" in f.message
+
     def test_disable_all_that_suppressed_something_is_kept(self):
         findings = audit_suppressions(
             declared={"a.py": {3: {"ALL"}}},
@@ -134,6 +152,6 @@ class TestAuditCli:
         f.write_text("x = 1  # reprolint: disable=REP006,REP999\n")
         proc = self._lint(str(f), "--format", "json")
         doc = json.loads(proc.stdout)
-        assert doc["schema"] == 3
+        assert doc["schema"] == 4
         audit = doc["suppression_audit"]
         assert audit["declared"] == 2 and audit["unused"] == 2

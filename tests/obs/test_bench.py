@@ -209,6 +209,20 @@ class TestSparkline:
         assert line[-1] == "█"
         assert len(line) == 4
 
+    def test_single_entry_renders_one_glyph(self):
+        # a fresh ledger has exactly one record; the line must not be
+        # blank or raise on the zero span
+        line = sparkline([171518.9])
+        assert len(line) == 1
+
+    def test_non_finite_values_render_flat_not_crash(self):
+        # a corrupt or hand-edited TREND line must not take down --trend
+        line = sparkline([1.0, float("nan"), 2.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[2] == "█"
+        assert sparkline([float("inf")]) == sparkline([5.0])
+        assert len(sparkline([float("nan"), float("nan")])) == 2
+
 
 class TestFormatTrend:
     def _records(self, n=3, host="fp0000000000"):
