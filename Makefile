@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-all lint perflint sanitize racecheck bench bench-quick bench-kernel examples clean
+.PHONY: install test test-fast test-all lint docs-check perflint sanitize racecheck bench bench-quick bench-kernel reproduce reproduce-quick examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -28,6 +28,12 @@ lint:
 	@$(PYTHON) -c "import mypy" 2>/dev/null \
 		&& $(PYTHON) -m mypy \
 		|| echo "mypy not installed; skipping (pip install -e .[lint])"
+
+# Docs cross-reference gate: every file path, CLI subcommand, make
+# target, BENCH_* document, and rule id referenced in README.md /
+# ARTIFACTS.md / docs/*.md must exist.
+docs-check:
+	$(PYTHON) -m repro lint --docs
 
 # Hot-path cost analysis: kernel hot set + REP017-021 (allocation,
 # __slots__, telemetry formatting, attribute reloads, linear scans),
@@ -61,6 +67,17 @@ bench-quick:
 bench-kernel:
 	$(PYTHON) -m repro bench --gate --out results/BENCH_kernel.json
 	$(PYTHON) -m repro bench --trend
+
+# One-command artifact regeneration: every registered artifact (paper
+# figures/tables, BENCH_* documents, analysis reports) is rebuilt into
+# results/reproduce/ with a SHA-256 + provenance manifest
+# (results/MANIFEST.json) and diffed against the committed baselines.
+# See ARTIFACTS.md for the registry.
+reproduce:
+	$(PYTHON) -m repro reproduce-all --check
+
+reproduce-quick:
+	$(PYTHON) -m repro reproduce-all --quick --check
 
 examples:
 	REPRO_QUICK=1 $(PYTHON) examples/quickstart.py

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Standalone entry point for the docs cross-reference checker.
+
+Equivalent to ``python -m repro lint --docs``; exists so the docs gate
+can run without remembering the CLI flag spelling:
+
+    python scripts/check_docs.py [--root DIR] [--json] [--out FILE]
+
+Exit status 0 means every checkable reference in README.md,
+ARTIFACTS.md, and docs/*.md resolves; 1 means at least one is stale.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.doccheck import check_docs, format_doccheck  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=str(Path(__file__).resolve()
+                                              .parent.parent),
+                        help="repo root to resolve references against")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the JSON report to this file")
+    args = parser.parse_args()
+
+    result = check_docs(root=args.root)
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fp:
+            json.dump(result.to_dict(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_doccheck(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# One-command artifact regeneration: every registered artifact (paper
+# figures/tables, BENCH_* baseline documents, analysis reports) is
+# rebuilt into results/reproduce/ and digested into
+# results/MANIFEST.json with git/host provenance.
+#
+# Usage:
+#   scripts/reproduce_all.sh                 # full-fidelity regeneration
+#   scripts/reproduce_all.sh --quick --check # CI mode: short windows,
+#                                            # diff against baselines
+#   scripts/reproduce_all.sh --only 'fig*'   # just the paper figures
+#
+# All arguments are forwarded to `repro reproduce-all` (see
+# ARTIFACTS.md for the registry and docs/REPRODUCIBILITY.md for
+# manifest semantics).
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec "${PYTHON:-python}" -m repro reproduce-all "$@"

@@ -1,0 +1,562 @@
+"""The artifact registry: every result this repository ships, as code.
+
+Each :class:`Artifact` names one deliverable — a paper figure/table, a
+``BENCH_*`` baseline document, an analysis report — together with the
+callable that regenerates it, the output files it writes (relative to
+the run's output directory, ``results/reproduce/`` by default), whether
+its bytes are deterministic on a fixed tree, the committed baseline it
+is diffed against under ``--check``, and the paper figure / ROADMAP
+item it serves.  ``ARTIFACTS.md`` documents the same set for humans,
+and a test asserts the two stay in sync.
+
+Regeneration commands (the exact CLI equivalents are listed per entry
+in ``ARTIFACTS.md``):
+
+* figures/tables run in-process through a shared
+  :class:`~repro.experiments.figures.Evaluation` cache so versions
+  quantified by several figures are measured once; ``--jobs N`` fans
+  their campaign cells over the PR-5 parallel executor;
+* bench documents re-run the pinned measurement the corresponding
+  ``benchmarks/test_*_baseline.py`` gate uses, so a ``--check`` diff
+  here means the committed baseline genuinely drifted;
+* lint/flow/perf reports shell out to the real ``repro lint`` CLI (the
+  same invocation CI uses), keeping the registry honest about what the
+  documented command produces.
+
+Comparison semantics under ``--check`` follow the repo convention:
+digest-backed outputs are compared exactly or value-exactly, while
+host-dependent speed numbers use the existing gate tolerances (the
+±20 % events/sec floor, the ≥4-core guard for speedup floors).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: tolerances mirrored from benchmarks/test_availability_baseline.py —
+#: AA drift is judged on the unavailability axis (relative), AT relatively
+UNAVAILABILITY_RTOL = 0.35
+THROUGHPUT_RTOL = 0.10
+#: mirrored from repro.bench: >20% events/sec regression is drift
+KERNEL_REGRESSION_TOLERANCE = 0.20
+#: mirrored from benchmarks/test_parallel_baseline.py
+PARALLEL_SPEEDUP_FLOOR = 1.5
+MIN_CORES_FOR_PERF_CHECK = 4
+
+
+class ReproduceError(RuntimeError):
+    """An artifact failed to regenerate (bad result, not a crash)."""
+
+
+@dataclass
+class ReproduceContext:
+    """Shared state of one ``reproduce-all`` run."""
+
+    quick: bool = True
+    jobs: int = 1
+    out_dir: Path = Path("results/reproduce")
+    #: root the committed baselines are resolved under (the repo checkout;
+    #: tests point this at a scratch tree to exercise drift detection)
+    baseline_root: Path = Path(".")
+    progress: Optional[Callable[[str], None]] = None
+    _evaluation: Any = field(default=None, repr=False)
+
+    def say(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def evaluation(self):
+        """The shared figure-quantification cache (built lazily so
+        non-figure selections never pay for it)."""
+        if self._evaluation is None:
+            from repro.core.quantify import QuantifyConfig
+            from repro.experiments.figures import Evaluation
+
+            config = (QuantifyConfig.quick() if self.quick
+                      else QuantifyConfig())
+            self._evaluation = Evaluation(config, jobs=self.jobs)
+        return self._evaluation
+
+    def baseline_path(self, rel: str) -> Path:
+        return Path(self.baseline_root) / rel
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One registered deliverable."""
+
+    name: str
+    description: str
+    kind: str                    # figure | bench | report
+    generate: Callable[[ReproduceContext], Dict[str, Any]]
+    outputs: Tuple[str, ...]     # relative to ctx.out_dir
+    deterministic: bool
+    paper_ref: Optional[str] = None
+    roadmap_item: Optional[int] = None
+    baseline: Optional[str] = None   # repo-relative committed document
+    #: returns drift messages against the committed baseline (``--check``)
+    check: Optional[Callable[[ReproduceContext, "Artifact"], List[str]]] = None
+
+
+def _write_json(path: Path, doc: Any) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(doc, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+
+
+def _load_json(path: Path) -> Any:
+    with open(path, "r", encoding="utf-8") as fp:
+        return json.load(fp)
+
+
+# ---------------------------------------------------------------------------
+# figures and tables
+
+
+def _gen_figure(fig_name: str):
+    def generate(ctx: ReproduceContext) -> Dict[str, Any]:
+        from repro.experiments.artifacts import write_figure
+        from repro.experiments.figures import ALL_FIGURES, fig9
+
+        ev = ctx.evaluation()
+        if fig_name == "fig9" and ctx.quick:
+            # the direct 8-node re-measurements are full-mode only; the
+            # scaled-model rows still regenerate
+            figure = fig9(ev, measure_direct=False)
+        else:
+            figure = ALL_FIGURES[fig_name](ev)
+        write_figure(figure, ctx.out_dir / "figures")
+        return {"title": figure.title, "rows": len(figure.rows)}
+
+    return generate
+
+
+#: registry entries for the paper's evaluation section
+_FIGURES: Tuple[Tuple[str, str, str], ...] = (
+    ("fig1a", "Figure 1a", "independent vs cooperative: throughput gain "
+     "vs unavailability cost"),
+    ("fig1b", "Figure 1b", "theoretical HW vs SW improvement over COOP"),
+    ("fig2", "Figure 2", "the fitted 7-stage throughput template "
+     "(COOP, SCSI timeout)"),
+    ("fig4", "Figure 4", "COOP throughput timeline under a disk fault"),
+    ("fig6", "Figure 6", "unavailability under additional hardware"),
+    ("fig7", "Figure 7", "HA techniques, predicted vs measured"),
+    ("fig8", "Figure 8", "stronger FME + hardware variants"),
+    ("fig9", "Figure 9", "scaling FME to 8/16 nodes"),
+    ("fig10", "Figure 10", "scaling COOP to 8/16 nodes"),
+    ("table1", "Table 1", "the fault loads (MTTF/MTTR/counts)"),
+    ("table2", "Table 2", "implementation effort vs unavailability "
+     "reduction"),
+)
+
+
+# ---------------------------------------------------------------------------
+# bench documents
+
+
+def _gen_bench_availability(ctx: ReproduceContext) -> Dict[str, Any]:
+    """The pinned (version, fault-kind) availability matrix —
+    the same measurement ``benchmarks/test_availability_baseline.py``
+    gates on (explicit quick campaign, seed 0, two fault kinds)."""
+    from repro.core.quantify import QuantifyConfig, quantify_version
+    from repro.faults.types import FaultKind
+
+    kinds = (FaultKind.NODE_CRASH, FaultKind.APP_CRASH)
+    config = QuantifyConfig.quick(kinds=kinds, seed=0)
+    rows = {}
+    for name in ("INDEP", "COOP"):
+        ctx.say(f"  quantifying {name} (2-kind pinned grid)...")
+        va = quantify_version(name, config, jobs=ctx.jobs)
+        rows[name] = {
+            "AA": va.availability,
+            "AT": va.normal_tput,
+            "unavailability": va.unavailability,
+        }
+    doc = {
+        "profile": config.profile.name,
+        "seed": config.seed,
+        "kinds": [k.value for k in kinds],
+        "versions": rows,
+    }
+    _write_json(ctx.out_dir / "BENCH_availability.json", doc)
+    return {"versions": sorted(rows)}
+
+
+def _check_availability(ctx: ReproduceContext,
+                        artifact: Artifact) -> List[str]:
+    current = _load_json(ctx.out_dir / "BENCH_availability.json")
+    baseline = _load_json(ctx.baseline_path(artifact.baseline or ""))
+    messages: List[str] = []
+    for name, base in sorted(baseline.get("versions", {}).items()):
+        row = current.get("versions", {}).get(name)
+        if row is None:
+            messages.append(f"version {name} missing from regenerated matrix")
+            continue
+        base_u = max(base["unavailability"], 1e-12)
+        rel_u = abs(row["unavailability"] - base["unavailability"]) / base_u
+        if rel_u > UNAVAILABILITY_RTOL:
+            messages.append(
+                f"{name}: unavailability {row['unavailability']:.6f} drifted "
+                f"{rel_u:.0%} from baseline {base['unavailability']:.6f} "
+                f"(> {UNAVAILABILITY_RTOL:.0%})")
+        rel_t = abs(row["AT"] - base["AT"]) / max(base["AT"], 1e-12)
+        if rel_t > THROUGHPUT_RTOL:
+            messages.append(
+                f"{name}: throughput {row['AT']:.1f} drifted {rel_t:.0%} "
+                f"from baseline {base['AT']:.1f} (> {THROUGHPUT_RTOL:.0%})")
+    return messages
+
+
+def _gen_bench_kernel(ctx: ReproduceContext) -> Dict[str, Any]:
+    """The kernel speed + observability-overhead document (`repro bench`).
+    Quick mode runs the steady scenario only; full mode runs the whole
+    suite and appends a provenance record to ``benchmarks/TREND.jsonl``."""
+    from repro.bench import append_trend, run_bench
+
+    names = ["steady"] if ctx.quick else None
+    report = run_bench(scenario_names=names, progress=ctx.say)
+    _write_json(ctx.out_dir / "BENCH_kernel.json", report.to_dict())
+    trend_appended = False
+    if not ctx.quick:
+        ledger = ctx.baseline_path("benchmarks/TREND.jsonl")
+        append_trend(report, str(ledger))
+        trend_appended = True
+    if not report.ok:
+        raise ReproduceError(
+            "observability perturbed simulation results (digest mismatch "
+            "across obs modes)")
+    return {"scenarios": sorted(report.scenarios),
+            "trend_appended": trend_appended}
+
+
+def _check_kernel(ctx: ReproduceContext, artifact: Artifact) -> List[str]:
+    """Dict-level twin of :func:`repro.bench.gate`: digest oracle always,
+    speed floors and overhead ceilings only on capable hosts."""
+    current = _load_json(ctx.out_dir / "BENCH_kernel.json")
+    baseline = _load_json(ctx.baseline_path(artifact.baseline or ""))
+    messages: List[str] = []
+    cores = os.cpu_count() or 1
+    perf_gated = cores >= MIN_CORES_FOR_PERF_CHECK
+    ceilings = baseline.get("gate", {})
+    for name, sc in sorted(current.get("scenarios", {}).items()):
+        if not sc.get("digests_equal", True):
+            messages.append(f"{name}: digests diverged across obs modes")
+        base = baseline.get("scenarios", {}).get(name)
+        if base is None or not perf_gated:
+            continue
+        floor = base["events_per_sec"] * (1.0 - KERNEL_REGRESSION_TOLERANCE)
+        if sc["events_per_sec"] < floor:
+            messages.append(
+                f"{name}: events/sec {sc['events_per_sec']:,.0f} below "
+                f"baseline floor {floor:,.0f}")
+        for mode, key in (("unsub", "max_overhead_unsub"),
+                          ("on", "max_overhead_on"),
+                          ("spans", "max_overhead_spans")):
+            ceiling = ceilings.get(key)
+            overhead = sc.get(f"overhead_{mode}")
+            if ceiling is None or overhead is None:
+                continue
+            if overhead > ceiling:
+                messages.append(
+                    f"{name}: obs overhead ({mode}) {overhead:.3f}x exceeds "
+                    f"ceiling {ceiling:.3f}x")
+    return messages
+
+
+def _gen_bench_parallel(ctx: ReproduceContext) -> Dict[str, Any]:
+    """The serial-vs-parallel executor measurement behind
+    ``benchmarks/BENCH_parallel.json``: the INDEP quick grid serially and
+    on a 4-worker pool, digest-compared byte for byte."""
+    import hashlib
+    import time
+
+    from repro.core.quantify import QuantifyConfig, quantify_version
+
+    def canonical(obj: Any) -> bytes:
+        return json.dumps(obj, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    def artifact_digest(va: Any) -> str:
+        digest = hashlib.sha256(b"repro-parallel-bench")
+        for kind in sorted(va.records, key=lambda k: k.value):
+            digest.update(hashlib.sha256(
+                canonical(va.records[kind].to_dict())).digest())
+        return digest.hexdigest()
+
+    config = QuantifyConfig.quick(seed=0)
+    jobs = 4
+    ctx.say("  INDEP quick grid, serial...")
+    t0 = time.perf_counter()
+    serial = quantify_version("INDEP", config, keep_records=True)
+    serial_wall = time.perf_counter() - t0
+    ctx.say(f"  INDEP quick grid, {jobs} workers...")
+    t0 = time.perf_counter()
+    parallel = quantify_version("INDEP", config, keep_records=True, jobs=jobs)
+    parallel_wall = time.perf_counter() - t0
+
+    serial_digest = artifact_digest(serial)
+    parallel_digest = artifact_digest(parallel)
+    doc = {
+        "version": "INDEP",
+        "profile": config.profile.name,
+        "seed": config.seed,
+        "jobs": jobs,
+        "cells": len(serial.records),
+        "cores": os.cpu_count(),
+        "serial_wall_seconds": serial_wall,
+        "parallel_wall_seconds": parallel_wall,
+        "speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
+        "serial_digest": serial_digest,
+        "parallel_digest": parallel_digest,
+        "digests_equal": serial_digest == parallel_digest,
+        "availability": serial.availability,
+    }
+    _write_json(ctx.out_dir / "BENCH_parallel.json", doc)
+    if not doc["digests_equal"]:
+        raise ReproduceError(
+            f"parallel artifacts diverged from serial: "
+            f"{parallel_digest} != {serial_digest}")
+    return {"cells": doc["cells"], "speedup": round(doc["speedup"], 3)}
+
+
+def _check_parallel(ctx: ReproduceContext, artifact: Artifact) -> List[str]:
+    current = _load_json(ctx.out_dir / "BENCH_parallel.json")
+    baseline = _load_json(ctx.baseline_path(artifact.baseline or ""))
+    messages: List[str] = []
+    for key in ("version", "profile", "jobs"):
+        if current.get(key) != baseline.get(key):
+            messages.append(f"{key} changed: baseline {baseline.get(key)!r} "
+                            f"vs regenerated {current.get(key)!r}")
+    # the availability number is the serial pipeline's deterministic
+    # output under a pinned seed — it must match the baseline exactly
+    base_a, cur_a = baseline.get("availability"), current.get("availability")
+    if base_a is not None and cur_a is not None:
+        if abs(cur_a - base_a) > 1e-12 * max(abs(base_a), 1.0):
+            messages.append(f"availability {cur_a!r} != baseline {base_a!r} "
+                            f"(pinned-seed output must match exactly)")
+    cores = current.get("cores") or 1
+    if cores >= MIN_CORES_FOR_PERF_CHECK and \
+            current.get("speedup", 0.0) < PARALLEL_SPEEDUP_FLOOR:
+        messages.append(
+            f"speedup {current.get('speedup', 0.0):.2f}x below the "
+            f"{PARALLEL_SPEEDUP_FLOOR}x floor on {cores} cores")
+    return messages
+
+
+# ---------------------------------------------------------------------------
+# analysis reports (regenerated through the real CLI, as CI runs them)
+
+
+def _run_cli(ctx: ReproduceContext, args: Sequence[str],
+             ok_codes: Tuple[int, ...] = (0,)) -> None:
+    """Run ``python -m repro ...`` as a subprocess with ``src`` importable
+    (works from a bare checkout — no editable install required)."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run([sys.executable, "-m", "repro", *args],
+                          capture_output=True, text=True, env=env,
+                          check=False)
+    if proc.returncode not in ok_codes:
+        tail = (proc.stderr.strip() or proc.stdout.strip())[-500:]
+        raise ReproduceError(
+            f"`repro {' '.join(args)}` exited {proc.returncode}: {tail}")
+
+
+def _gen_lint(ctx: ReproduceContext) -> Dict[str, Any]:
+    out = ctx.out_dir / "reprolint.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    _run_cli(ctx, ["lint", "src/repro", "--strict", "--format", "json",
+                   "--out", str(out)])
+    doc = _load_json(out)
+    return {"files_scanned": doc.get("files_scanned"),
+            "errors": doc.get("errors"), "warnings": doc.get("warnings")}
+
+
+def _gen_lint_flow(ctx: ReproduceContext) -> Dict[str, Any]:
+    out = ctx.out_dir / "reprolint-flow.json"
+    graph = ctx.out_dir / "callgraph.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    _run_cli(ctx, ["lint", "src/repro", "--flow", "--strict",
+                   "--format", "json", "--out", str(out),
+                   "--callgraph-out", str(graph)])
+    doc = _load_json(out)
+    return {"errors": doc.get("errors"), "warnings": doc.get("warnings"),
+            "newly_covered": len(doc.get("flow", {}).get("newly_covered", []))}
+
+
+def _gen_lint_perf(ctx: ReproduceContext) -> Dict[str, Any]:
+    out = ctx.out_dir / "reprolint-perf.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    _run_cli(ctx, ["lint", "src/repro", "--perf", "--strict",
+                   "--format", "json", "--out", str(out)])
+    doc = _load_json(out)
+    return {"errors": doc.get("errors"), "warnings": doc.get("warnings"),
+            "hot_functions": doc.get("perf", {}).get("hot_functions")}
+
+
+def _check_lint_clean(ctx: ReproduceContext, artifact: Artifact) -> List[str]:
+    doc = _load_json(ctx.out_dir / artifact.outputs[0])
+    messages: List[str] = []
+    if doc.get("errors"):
+        messages.append(f"{doc['errors']} lint error(s) on the tree")
+    if doc.get("warnings"):
+        messages.append(f"{doc['warnings']} lint warning(s) on the tree "
+                        f"(strict gate)")
+    return messages
+
+
+def _gen_racecheck(ctx: ReproduceContext) -> Dict[str, Any]:
+    """The two-tier race report (static effect analysis + schedule
+    perturbation).  Quick mode uses the smoke scenario; full mode the
+    quick Table-1 campaign (the `make racecheck` configuration)."""
+    from repro.analysis.racecheck import run_racecheck
+
+    result = run_racecheck(smoke=ctx.quick, quick=True)
+    _write_json(ctx.out_dir / "racecheck.json", result.to_dict())
+    if not result.ok:
+        raise ReproduceError("race detector reported a divergence")
+    return {"mode": result.mode,
+            "static_findings": len(result.static_findings)}
+
+
+def _gen_docs_check(ctx: ReproduceContext) -> Dict[str, Any]:
+    """The docs cross-reference report (`repro lint --docs`)."""
+    from repro.analysis.doccheck import check_docs
+
+    result = check_docs(root=str(ctx.baseline_root))
+    _write_json(ctx.out_dir / "docscheck.json", result.to_dict())
+    if not result.ok:
+        raise ReproduceError(
+            f"{len(result.findings)} stale documentation reference(s); "
+            f"run `repro lint --docs` for the list")
+    return {"docs_scanned": result.docs_scanned,
+            "refs_checked": result.refs_checked}
+
+
+# ---------------------------------------------------------------------------
+# the registry itself
+
+
+def _registry() -> Dict[str, Artifact]:
+    entries: List[Artifact] = []
+    for name, ref, desc in _FIGURES:
+        entries.append(Artifact(
+            name=name,
+            description=desc,
+            kind="figure",
+            generate=_gen_figure(name),
+            outputs=(f"figures/{name}.txt", f"figures/{name}.csv"),
+            deterministic=True,
+            paper_ref=ref,
+        ))
+    entries.append(Artifact(
+        name="bench-availability",
+        description="pinned INDEP/COOP availability+throughput matrix "
+                    "(the regression-gate baseline)",
+        kind="bench",
+        generate=_gen_bench_availability,
+        outputs=("BENCH_availability.json",),
+        deterministic=True,
+        paper_ref="Figure 1a (gate subset)",
+        baseline="benchmarks/BENCH_availability.json",
+        check=_check_availability,
+    ))
+    entries.append(Artifact(
+        name="bench-kernel",
+        description="kernel events/sec + observability-overhead document "
+                    "with the cross-mode digest oracle",
+        kind="bench",
+        generate=_gen_bench_kernel,
+        outputs=("BENCH_kernel.json",),
+        deterministic=False,
+        roadmap_item=1,
+        baseline="benchmarks/BENCH_kernel.json",
+        check=_check_kernel,
+    ))
+    entries.append(Artifact(
+        name="bench-parallel",
+        description="serial-vs-parallel campaign executor measurement "
+                    "(byte-identical digests + speedup accounting)",
+        kind="bench",
+        generate=_gen_bench_parallel,
+        outputs=("BENCH_parallel.json",),
+        deterministic=False,
+        roadmap_item=1,
+        baseline="benchmarks/BENCH_parallel.json",
+        check=_check_parallel,
+    ))
+    entries.append(Artifact(
+        name="lint",
+        description="reprolint determinism report (REP001-007, REP013, "
+                    "REP016) over src/repro, strict",
+        kind="report",
+        generate=_gen_lint,
+        outputs=("reprolint.json",),
+        deterministic=True,
+        check=_check_lint_clean,
+    ))
+    entries.append(Artifact(
+        name="lint-flow",
+        description="whole-program flow report (protocol consistency, "
+                    "lost generators, races) + call graph",
+        kind="report",
+        generate=_gen_lint_flow,
+        outputs=("reprolint-flow.json", "callgraph.json"),
+        deterministic=True,
+        check=_check_lint_clean,
+    ))
+    entries.append(Artifact(
+        name="lint-perf",
+        description="profile-guided hot-path cost report (kernel hot set, "
+                    "REP017-021)",
+        kind="report",
+        generate=_gen_lint_perf,
+        outputs=("reprolint-perf.json",),
+        deterministic=True,
+        roadmap_item=1,
+        check=_check_lint_clean,
+    ))
+    entries.append(Artifact(
+        name="racecheck",
+        description="two-tier race report: static shared-state effects + "
+                    "schedule-perturbation sanitizer",
+        kind="report",
+        generate=_gen_racecheck,
+        outputs=("racecheck.json",),
+        deterministic=True,
+    ))
+    entries.append(Artifact(
+        name="docs-check",
+        description="documentation cross-reference report (file paths, "
+                    "CLI subcommands, make targets, rule ids)",
+        kind="report",
+        generate=_gen_docs_check,
+        outputs=("docscheck.json",),
+        deterministic=True,
+    ))
+    return {a.name: a for a in entries}
+
+
+#: name -> Artifact, in registration (execution) order
+REGISTRY: Dict[str, Artifact] = _registry()
+
+
+def select(only: Optional[str] = None) -> List[Artifact]:
+    """Registry entries matching the ``--only`` glob (all, when None)."""
+    if only is None:
+        return list(REGISTRY.values())
+    chosen = [a for name, a in REGISTRY.items()
+              if fnmatch.fnmatchcase(name, only)]
+    return chosen

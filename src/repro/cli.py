@@ -648,6 +648,22 @@ def cmd_lint(args) -> int:
     if args.list_rules:
         print(render_rules())
         return 0
+    if args.docs:
+        # the docs pass is its own domain (markdown corpus, not python
+        # sources) — it runs standalone and every finding is an error
+        from repro.analysis.doccheck import check_docs, format_doccheck
+
+        docs_result = check_docs(root=args.docs_root)
+        if args.out:
+            Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+            with open(args.out, "w", encoding="utf-8") as fp:
+                json.dump(docs_result.to_dict(), fp, indent=2, sort_keys=True)
+                fp.write("\n")
+        if args.format == "json":
+            print(json.dumps(docs_result.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(format_doccheck(docs_result))
+        return 0 if docs_result.ok else 1
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         raise SystemExit(f"error: no such path: {', '.join(missing)}")
@@ -825,6 +841,28 @@ def cmd_validate(args) -> int:
           f"({result.faults_injected} random faults over {result.horizon:.0f}s)")
     print(f"measured/predicted unavailability ratio: {result.ratio:.2f}")
     return 0
+
+
+def cmd_reproduce_all(args) -> int:
+    from repro.artifacts import format_manifest, reproduce_all
+
+    try:
+        manifest = reproduce_all(
+            only=args.only,
+            quick=getattr(args, "quick", False),
+            jobs=args.jobs,
+            check=args.check,
+            out_dir=args.out_dir,
+            manifest_path=args.manifest,
+            progress=lambda msg: print(msg, file=sys.stderr, flush=True),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_manifest(manifest))
+    return 0 if manifest.ok else 1
 
 
 def _add_common(p: argparse.ArgumentParser, json_flag: bool = False) -> None:
@@ -1074,6 +1112,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--diff", default=None, metavar="GIT_REF",
                    help="only report findings in files changed since "
                         "GIT_REF (fast pre-commit mode)")
+    p.add_argument("--docs", action="store_true",
+                   help="standalone docs cross-reference pass: every "
+                        "path, CLI subcommand, make target, BENCH_* "
+                        "document, and rule id referenced in README.md/"
+                        "ARTIFACTS.md/docs/*.md must exist")
+    p.add_argument("--docs-root", default=".", metavar="DIR",
+                   help="repo root the docs corpus is resolved against "
+                        "(default: .)")
     _add_common(p)
     p.set_defaults(fn=cmd_lint)
 
@@ -1146,6 +1192,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="e.g. 0.99999 for five nines")
     _add_common(p)
     p.set_defaults(fn=cmd_sensitivity)
+
+    p = sub.add_parser(
+        "reproduce-all",
+        help="regenerate every registered artifact (figures, BENCH_* "
+             "documents, analysis reports) with a SHA-256 + provenance "
+             "manifest; see ARTIFACTS.md")
+    p.add_argument("--only", default=None, metavar="GLOB",
+                   help="restrict to artifacts whose name matches GLOB "
+                        "(fnmatch, e.g. 'fig*' or 'bench-*')")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fan campaign cells out over N worker processes "
+                        "(results are byte-identical to --jobs 1)")
+    p.add_argument("--check", action="store_true",
+                   help="diff regenerated artifacts against their "
+                        "committed baselines; drift fails the run")
+    p.add_argument("--out-dir", default="results/reproduce", metavar="DIR",
+                   help="directory regenerated artifacts are written to")
+    p.add_argument("--manifest", default="results/MANIFEST.json",
+                   metavar="FILE",
+                   help="where to write the provenance manifest")
+    _add_common(p, json_flag=True)
+    p.set_defaults(fn=cmd_reproduce_all)
 
     return parser
 

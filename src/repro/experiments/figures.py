@@ -45,14 +45,17 @@ class FigureOutput:
 class Evaluation:
     """Shared cache of quantifications for one configuration."""
 
-    def __init__(self, config: Optional[QuantifyConfig] = None):
+    def __init__(self, config: Optional[QuantifyConfig] = None,
+                 jobs: int = 1):
         self.config = config or QuantifyConfig.from_env()
+        self.jobs = max(1, int(jobs))
         self._va: Dict[str, VersionAvailability] = {}
         self._ff: Dict[str, dict] = {}
 
     def va(self, name: str) -> VersionAvailability:
         if name not in self._va:
-            self._va[name] = quantify_version(name, self.config)
+            self._va[name] = quantify_version(name, self.config,
+                                              jobs=self.jobs)
         return self._va[name]
 
     def fault_free(self, name: str) -> dict:
@@ -313,7 +316,7 @@ def fig9(ev: Evaluation, measure_direct: bool = True) -> FigureOutput:
                     profile=cfg.profile.with_cache_files(cache_files),
                     seed=cfg.seed, campaign=cfg.campaign,
                     environment=cfg.environment, fit=cfg.fit)
-            direct = quantify_version(spec8, cfg)
+            direct = quantify_version(spec8, cfg, jobs=ev.jobs)
             rows.append({"config": f"FME-8 {cache_label} (direct)",
                          "unavailability": direct.unavailability})
     lines = [f"{'config':<26}{'unavail':>10}"]
